@@ -1,0 +1,14 @@
+"""Figure 3: request generation/consumption rates of data preparation."""
+
+from repro.bench.experiments import fig03_request_rates
+
+
+def test_fig03_request_rates(benchmark):
+    result = benchmark.pedantic(fig03_request_rates, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    # The paper's headline ordering: CPU generation < GPU consumption <
+    # GPU generation.
+    extras = result.extras
+    assert extras["cpu_plateau"] < extras["gpu_consumption"]
+    assert extras["gpu_consumption"] < extras["gpu_generation"]

@@ -1,0 +1,15 @@
+"""Figure 7: graph sampling time, CPU vs GPU, for growing graph sizes."""
+
+from repro.bench.experiments import fig07_sampling
+
+
+def test_fig07_sampling(benchmark):
+    result = benchmark.pedantic(fig07_sampling, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    # GPU sampling wins on every dataset and by >3x on IGB-medium.
+    for name, speedup in result.extras.items():
+        assert speedup > 1.0, name
+    assert result.extras["IGB-medium"] > 3.0
+    # The advantage grows with graph size (latency-hiding pays off more).
+    assert result.extras["IGB-medium"] > result.extras["IGB-tiny"]

@@ -1,0 +1,32 @@
+"""Figure 8: Eq. 2-3 bandwidth model vs event-driven measurement."""
+
+import numpy as np
+
+from repro.bench.experiments import fig08_ssd_model
+
+
+def test_fig08_ssd_model(benchmark):
+    result = benchmark.pedantic(fig08_ssd_model, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for ssd_name, data in result.extras.items():
+        model = np.array(data["model_iops"])
+        measured = np.array(data["measured_iops"])
+        # Section 4.2: "the model accurately estimates the SSD bandwidth,
+        # particularly when it approaches the peak" — so we require tight
+        # agreement in the upper half of the sweep and only loose agreement
+        # at the smallest overlap counts, where latency variance dominates.
+        rel_err = np.abs(model - measured) / np.maximum(measured, 1.0)
+        half = len(rel_err) // 2
+        assert rel_err[half:].max() < 0.15, ssd_name
+        assert rel_err.max() < 0.50, ssd_name
+        assert np.all(np.diff(model) > 0)
+    # Paper, Section 4.2: ~1k overlapping accesses reach 95% of Optane's
+    # peak (model 812, measured 1024); our model lands in the same regime.
+    required = result.extras["Intel Optane SSD"]["required_95pct"]
+    assert 500 <= required <= 2000
+    # Higher-latency flash needs several times more overlap.
+    assert (
+        result.extras["Samsung 980 Pro SSD"]["required_95pct"]
+        > 3 * required
+    )

@@ -1,0 +1,25 @@
+"""Figure 9: dynamic storage access accumulator's effect on PCIe ingress."""
+
+from repro.bench.experiments import fig09_accumulator
+
+
+def test_fig09_accumulator(benchmark):
+    result = benchmark.pedantic(fig09_accumulator, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    extras = result.extras
+    # The accumulator helps both loaders at every batch size...
+    for loader in ("BaM", "GIDS"):
+        for batch in (32, 64, 128):
+            with_acc = extras[(loader, True, batch)]
+            without = extras[(loader, False, batch)]
+            assert with_acc >= without * 0.98, (loader, batch)
+    # ...and helps most at the smallest batch (paper: 1.95x for GIDS@32).
+    gids_gain_32 = extras[("GIDS", True, 32)] / extras[("GIDS", False, 32)]
+    gids_gain_128 = extras[("GIDS", True, 128)] / extras[("GIDS", False, 128)]
+    assert gids_gain_32 > gids_gain_128
+    assert gids_gain_32 > 1.3
+    # GIDS benefits more than BaM because redirects starve the SSDs of
+    # outstanding requests (paper's explanation).
+    bam_gain_32 = extras[("BaM", True, 32)] / extras[("BaM", False, 32)]
+    assert gids_gain_32 > bam_gain_32

@@ -1,0 +1,22 @@
+"""Figure 10: constant CPU buffer's effect on aggregation bandwidth."""
+
+from repro.bench.experiments import fig10_cpu_buffer
+
+
+def test_fig10_cpu_buffer(benchmark):
+    result = benchmark.pedantic(fig10_cpu_buffer, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    extras = result.extras
+    baseline = extras["baseline"]
+    # Bigger buffers help; reverse PageRank beats random selection; the
+    # 20% reverse-PageRank configuration multiplies effective bandwidth
+    # well beyond a single SSD's peak (paper: 3.53x).
+    assert extras[(0.20, "reverse_pagerank")] > extras[(0.10, "reverse_pagerank")]
+    assert extras[(0.10, "reverse_pagerank")] > extras[(0.10, "random")]
+    assert extras[(0.20, "reverse_pagerank")] > 2.5 * baseline
+    # Reverse PageRank is at least as good as the out-degree heuristic.
+    assert (
+        extras[(0.20, "reverse_pagerank")]
+        >= 0.95 * extras[(0.20, "out_degree")]
+    )

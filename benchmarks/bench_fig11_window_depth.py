@@ -1,0 +1,16 @@
+"""Figure 11: window buffering depth vs hit ratio and aggregation time."""
+
+from repro.bench.experiments import fig11_window_depth
+
+
+def test_fig11_window_depth(benchmark):
+    result = benchmark.pedantic(fig11_window_depth, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    extras = result.extras
+    # Deeper windows raise the hit ratio monotonically (paper: 1.2x at
+    # depth 4, 2.19x at depth 8) and reduce aggregation time.
+    assert extras[4]["hit_ratio"] > extras[0]["hit_ratio"]
+    assert extras[8]["hit_ratio"] > extras[4]["hit_ratio"]
+    assert extras[8]["hit_ratio"] > 1.5 * extras[0]["hit_ratio"]
+    assert extras[8]["agg_time"] < extras[0]["agg_time"]

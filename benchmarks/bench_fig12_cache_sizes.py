@@ -1,0 +1,20 @@
+"""Figure 12: window buffering vs GPU cache size."""
+
+from repro.bench.experiments import fig12_cache_sizes
+
+
+def test_fig12_cache_sizes(benchmark):
+    result = benchmark.pedantic(fig12_cache_sizes, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    extras = result.extras
+    # Window buffering beats random eviction at every cache size.
+    for gb in (4.0, 8.0, 16.0):
+        assert extras[gb]["speedup"] > 1.05, gb
+        assert extras[gb]["window_hit"] > extras[gb]["base_hit"]
+    # The paper's headline crossover: the smallest cache with window
+    # buffering outperforms the largest cache without it.
+    assert extras[4.0]["window_hit"] > extras[16.0]["base_hit"]
+    assert (
+        extras[4.0]["window_agg_time"] < extras[16.0]["base_agg_time"]
+    )

@@ -1,0 +1,32 @@
+"""Figure 14: end-to-end training time on Intel Optane SSDs."""
+
+from repro.bench.experiments import fig13_e2e_980pro, fig14_e2e_optane
+
+
+def test_fig14_e2e_optane(benchmark):
+    result = benchmark.pedantic(fig14_e2e_optane, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    extras = result.extras
+    for name in ("IGB-Full", "IGBH-Full"):
+        times = extras[name]
+        assert times["DGL-mmap"] > 10 * times["GIDS"], name
+        assert times["BaM"] > 1.5 * times["GIDS"], name
+    assert extras["IGB-Full"]["Ginex"] > 3 * extras["IGB-Full"]["GIDS"]
+
+
+def test_fig13_vs_fig14_latency_contrast(benchmark):
+    """The GIDS-over-mmap gap is far larger on the high-latency 980 Pro
+    than on Optane (582x vs 17x in the paper)."""
+
+    def both():
+        return fig13_e2e_980pro(), fig14_e2e_optane()
+
+    flash, optane = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    def speedup(result, name):
+        times = result.extras[name]
+        return times["DGL-mmap"] / times["GIDS"]
+
+    for name in ("IGB-Full", "IGBH-Full"):
+        assert speedup(flash, name) > 3 * speedup(optane, name), name

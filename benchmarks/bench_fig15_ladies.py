@@ -1,0 +1,17 @@
+"""Figure 15: feature aggregation time with LADIES layer-wise sampling."""
+
+from repro.bench.experiments import fig15_ladies
+
+
+def test_fig15_ladies(benchmark):
+    result = benchmark.pedantic(fig15_ladies, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    extras = result.extras
+    # GIDS dominates both baselines under both sampling schemes; the
+    # paper reports 412x vs the DGL dataloader and 1.92x vs BaM for
+    # LADIES on this setup.
+    for kind in ("neighborhood", "LADIES"):
+        times = extras[kind]
+        assert times["DGL-mmap"] > 50 * times["GIDS"], kind
+        assert times["BaM"] > 1.5 * times["GIDS"], kind

@@ -1,0 +1,49 @@
+"""Extension: data-parallel scaling over a shared SSD array."""
+
+from repro.bench.workloads import get_workload
+from repro.bench.tables import render_table
+from repro.config import INTEL_OPTANE
+from repro.core.multi_gpu import scaling_study
+
+
+def test_multi_gpu_scaling(benchmark):
+    workload = get_workload("IGB-Full")
+    system = workload.system(INTEL_OPTANE, num_ssds=1)
+
+    def run():
+        return scaling_study(
+            workload.dataset,
+            system,
+            workload.loader_config(),
+            gpu_counts=(1, 2, 4),
+            iterations_per_gpu=20,
+            batch_size=workload.batch_size,
+            fanouts=workload.fanouts,
+            hot_nodes=workload.hot_nodes,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    base = results[1].throughput
+    for num_gpus, result in sorted(results.items()):
+        rows.append(
+            [
+                num_gpus,
+                f"{result.epoch_time * 1e3:.2f}",
+                f"{result.throughput:.0f}",
+                f"{result.throughput / base:.2f}x",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["GPUs", "epoch ms", "batches/s", "scaling"],
+            rows,
+            title="Data-parallel GIDS over one shared Optane SSD",
+        )
+    )
+    # Fleet throughput grows with GPUs but sublinearly: the shared SSD
+    # array is the bottleneck (the case for adding SSDs, not GPUs).
+    assert results[2].throughput > results[1].throughput
+    assert results[4].throughput > results[2].throughput
+    assert results[4].throughput < 4 * results[1].throughput

@@ -1,0 +1,64 @@
+"""Methodology check: results are stable across replica scales.
+
+The whole reproduction rests on one claim (DESIGN.md §2): shrinking the
+dataset and every capacity by the same factor preserves the quantities the
+paper's figures plot.  This bench measures the key dimensionless outputs —
+CPU-buffer redirect fraction, GPU-cache hit ratio, GIDS-over-BaM speedup —
+at two different scales of the IGB-Full replica and asserts they agree.
+"""
+
+from repro.bench.workloads import get_workload
+from repro.bench.tables import render_table
+from repro.config import INTEL_OPTANE
+from repro.core.bam import BaMDataLoader
+from repro.core.gids import GIDSDataLoader
+
+
+def _measure(scale: float, iters: int = 30) -> dict:
+    workload = get_workload("IGB-Full", scale=scale)
+    system = workload.system(INTEL_OPTANE)
+    config = workload.loader_config()
+    common = dict(
+        batch_size=workload.batch_size, fanouts=workload.fanouts, seed=17
+    )
+    gids = GIDSDataLoader(
+        workload.dataset, system, config,
+        hot_nodes=workload.hot_nodes, **common,
+    ).run(iters, warmup=10)
+    bam = BaMDataLoader(
+        workload.dataset, system, config, **common
+    ).run(iters, warmup=10)
+    return {
+        "redirect": gids.counters.redirect_fraction,
+        "hit_ratio": gids.gpu_cache_hit_ratio,
+        "speedup_vs_bam": bam.e2e_time / gids.e2e_time,
+    }
+
+
+def test_scale_invariance(benchmark):
+    def run():
+        return _measure(0.001), _measure(0.002)
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            metric,
+            f"{small[metric]:.3f}",
+            f"{large[metric]:.3f}",
+        ]
+        for metric in ("redirect", "hit_ratio", "speedup_vs_bam")
+    ]
+    print()
+    print(
+        render_table(
+            ["metric", "scale 0.001", "scale 0.002"],
+            rows,
+            title="Scale invariance of dimensionless results (IGB-Full)",
+        )
+    )
+    # Dimensionless results agree across a 2x change of replica scale.
+    assert abs(small["redirect"] - large["redirect"]) < 0.12
+    assert (
+        abs(small["speedup_vs_bam"] - large["speedup_vs_bam"])
+        < 0.5 * large["speedup_vs_bam"]
+    )

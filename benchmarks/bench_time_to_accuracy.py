@@ -1,0 +1,16 @@
+"""Extension: time-to-accuracy with real training on simulated hardware."""
+
+from repro.bench.time_to_accuracy import time_to_accuracy
+
+
+def test_time_to_accuracy(benchmark):
+    result = benchmark.pedantic(time_to_accuracy, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    extras = result.extras
+    # Both loaders see identical batches, so their accuracy-per-step
+    # curves coincide exactly...
+    assert extras["per_step_accuracy_identical"]
+    # ...and GIDS reaches the target far sooner in simulated time.
+    assert extras["speedup"] is not None
+    assert extras["speedup"] > 10.0

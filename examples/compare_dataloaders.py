@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare all four dataloaders on a larger-than-memory graph.
+
+Reproduces the Figure 13/14 experiment shape on one dataset: the GIDS
+dataloader vs the BaM dataloader, the Ginex-style Belady loader and the
+DGL-mmap baseline, on both SSD types.  Expect GIDS to win modestly on
+Intel Optane and by orders of magnitude on the high-latency Samsung
+980 Pro — the paper's central result.
+
+Run:  python examples/compare_dataloaders.py
+"""
+
+from repro import (
+    BaMDataLoader,
+    DGLMmapLoader,
+    GIDSDataLoader,
+    GinexLoader,
+    INTEL_OPTANE,
+    SAMSUNG_980PRO,
+)
+from repro.bench import get_workload, render_table
+
+ITERATIONS = 40
+
+
+def main() -> None:
+    workload = get_workload("IGB-Full")
+    print(
+        f"workload: scaled {workload.name} "
+        f"({workload.dataset.num_nodes:,} nodes), batch "
+        f"{workload.batch_size}, fanouts {workload.fanouts}"
+    )
+
+    rows = []
+    for ssd in (INTEL_OPTANE, SAMSUNG_980PRO):
+        system = workload.system(ssd)
+        config = workload.loader_config()
+        common = dict(
+            batch_size=workload.batch_size, fanouts=workload.fanouts, seed=1
+        )
+        gids = GIDSDataLoader(
+            workload.dataset, system, config,
+            hot_nodes=workload.hot_nodes, **common,
+        ).run(ITERATIONS, warmup=10)
+        bam = BaMDataLoader(
+            workload.dataset, system, config, **common
+        ).run(ITERATIONS, warmup=10)
+        ginex = GinexLoader(workload.dataset, system, **common).run(
+            ITERATIONS, warmup=150
+        )
+        mmap = DGLMmapLoader(workload.dataset, system, **common).run(
+            ITERATIONS, warmup=150
+        )
+        for report in (gids, bam, ginex, mmap):
+            rows.append(
+                [
+                    ssd.name,
+                    report.loader_name,
+                    f"{report.e2e_time * 1e3:.2f}",
+                    f"{report.time_per_iteration() * 1e3:.3f}",
+                    f"{mmap.e2e_time / report.e2e_time:.1f}x",
+                ]
+            )
+    print()
+    print(
+        render_table(
+            ["SSD", "loader", f"E2E ms ({ITERATIONS} iters)", "ms/iter",
+             "speedup vs mmap"],
+            rows,
+            title="End-to-end GNN training comparison",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

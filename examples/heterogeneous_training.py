@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Heterogeneous GNN training with typed sampling (the IGBH/MAG workflow).
+
+Builds a scaled MAG240M replica (paper/author/institution node types),
+drives the GIDS dataloader with per-type fanouts, trains GraphSAGE on the
+paper nodes with a train/validation split, and prints validation accuracy
+plus an ASCII timeline contrasting GIDS's overlapped schedule with the
+serial baseline.
+
+Run:  python examples/heterogeneous_training.py
+"""
+
+import numpy as np
+
+from repro import (
+    DGLMmapLoader,
+    GIDSDataLoader,
+    GraphSAGE,
+    LoaderConfig,
+    SystemConfig,
+    load_scaled,
+    synthetic_labels,
+)
+from repro.pipeline.timeline import render_timeline
+from repro.training.evaluate import evaluate_accuracy, train_validation_split
+
+NUM_CLASSES = 6
+TRAIN_STEPS = 80
+
+
+def main() -> None:
+    dataset = load_scaled("MAG240M", 5e-5, seed=0)
+    hetero = dataset.hetero
+    print(f"dataset: {dataset.name} replica, {dataset.num_nodes:,} nodes")
+    for name in hetero.type_names:
+        print(f"  {name:12s} {hetero.type_count(name):,}")
+
+    system = SystemConfig(
+        cpu_memory_limit_bytes=dataset.total_bytes * 0.5
+    )
+    config = LoaderConfig(
+        gpu_cache_bytes=dataset.feature_data_bytes * 0.02,
+        cpu_buffer_fraction=0.10,
+        window_depth=4,
+    )
+    # Typed fanouts: papers cite papers and are written by authors;
+    # institutions matter less, so they get a smaller cap.
+    typed_fanouts = (
+        {"paper": 6, "author": 4, "institution": 1},
+        {"paper": 4, "author": 2},
+    )
+    loader = GIDSDataLoader(
+        dataset,
+        system,
+        config,
+        batch_size=128,
+        sampler_kind="hetero",
+        hetero_fanouts=typed_fanouts,
+        seed=1,
+    )
+
+    train_ids, val_ids = train_validation_split(
+        dataset.train_ids, validation_fraction=0.25, seed=0
+    )
+    labels_all = synthetic_labels(
+        loader.store, np.arange(dataset.num_nodes), NUM_CLASSES, seed=0
+    )
+    model = GraphSAGE(
+        dataset.feature_dim, 64, NUM_CLASSES, num_layers=2, lr=0.05, seed=0
+    )
+
+    print(f"\ntraining on {len(train_ids):,} paper nodes, validating on "
+          f"{len(val_ids):,}...")
+    losses = []
+    for step, (batch, features) in enumerate(
+        loader.iter_batches(TRAIN_STEPS)
+    ):
+        loss = model.train_step(batch, features, labels_all[batch.seeds])
+        losses.append(loss)
+        if step % 20 == 0:
+            print(f"  step {step:3d}: loss {loss:.4f}")
+
+    result = evaluate_accuracy(
+        model, loader.sampler, loader.store, val_ids, labels_all[val_ids]
+    )
+    print(f"\nvalidation accuracy: {result.accuracy:.1%} "
+          f"({result.correct}/{result.total}) vs "
+          f"{1 / NUM_CLASSES:.1%} chance")
+
+    # Timeline: GIDS decouples preparation from training; the baseline
+    # serializes them.
+    print("\npipeline schedules (first iterations):\n")
+    gids_report = loader.run(8, warmup=4)
+    print(render_timeline(gids_report))
+    mmap = DGLMmapLoader(
+        dataset, system, batch_size=128, fanouts=(5, 3), seed=1
+    )
+    print()
+    print(render_timeline(mmap.run(8, warmup=30)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Explore the paper's storage-bandwidth model (Eq. 2-3, Figure 8).
+
+Prints the predicted vs simulated IOPS curve for both SSD types, the
+number of overlapping accesses each needs to hit 95% of peak, and how the
+dynamic storage access accumulator turns that requirement into an
+iteration-merging threshold once cache/buffer redirects are observed.
+
+Run:  python examples/ssd_bandwidth_model.py
+"""
+
+from repro import (
+    DynamicAccessAccumulator,
+    INTEL_OPTANE,
+    SAMSUNG_980PRO,
+    SSDArray,
+    SSDMicrobench,
+)
+from repro.bench import render_table
+
+
+def main() -> None:
+    overlaps = [32, 128, 512, 2048, 8192]
+    for spec in (INTEL_OPTANE, SAMSUNG_980PRO):
+        array = SSDArray(spec)
+        bench = SSDMicrobench(spec, seed=0)
+        rows = []
+        for n in overlaps:
+            model = array.achieved_iops(n)
+            _, measured = bench.run(n)
+            rows.append(
+                [
+                    n,
+                    f"{model / 1e6:.3f}",
+                    f"{measured / 1e6:.3f}",
+                    f"{array.achieved_bandwidth(n) / 1e9:.2f}",
+                ]
+            )
+        print(
+            render_table(
+                ["overlapping", "model MIOPS", "simulated MIOPS", "GB/s"],
+                rows,
+                title=f"{spec.name} (latency "
+                f"{spec.read_latency_s * 1e6:.0f} us, peak "
+                f"{spec.peak_iops / 1e6:.1f}M IOPS)",
+            )
+        )
+        required = array.required_overlapping(0.95)
+        print(f"  -> {required} overlapping accesses reach 95% of peak\n")
+
+    print("accumulator thresholds (2x Intel Optane, target 95%):")
+    accumulator = DynamicAccessAccumulator(
+        SSDArray(INTEL_OPTANE, num_ssds=2)
+    )
+    print(f"  storage threshold: {accumulator.storage_threshold} accesses")
+    for redirected in (0.0, 0.3, 0.6):
+        accumulator.observe(
+            storage_accesses=int(1000 * (1 - redirected)),
+            total_accesses=1000,
+        )
+        print(
+            f"  after observing {redirected:.0%} redirects -> accumulate "
+            f"{accumulator.node_threshold} node accesses before launching"
+        )
+
+
+if __name__ == "__main__":
+    main()

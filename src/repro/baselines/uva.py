@@ -1,0 +1,127 @@
+"""UVA zero-copy baseline: the whole dataset pinned in CPU memory.
+
+DGL's UVA mode (Section 2.3) pins both the structure and the feature table
+in CPU memory and lets GPU kernels sample and gather through zero-copy
+accesses.  It is fast — data preparation runs on the GPU — but only valid
+when the entire dataset fits in (usable) CPU memory; constructing this
+loader for a larger dataset raises :class:`~repro.errors.CapacityError`,
+mirroring the hard limit that motivates GIDS.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import CapacityError, ConfigError
+from ..graph.datasets import ScaledDataset
+from ..pipeline.metrics import IterationMetrics, RunReport, StageTimes
+from ..sampling.minibatch import MiniBatch
+from ..sampling.neighbor import NeighborSampler
+from ..sampling.seeds import epoch_seed_batches
+from ..sim.counters import TransferCounters
+from ..sim.gpu import GPUModel
+from ..sim.pcie import PCIeLink
+from ..storage.feature_store import FeatureStore
+from ..utils import as_rng
+
+
+class UVALoader:
+    """GPU data preparation over CPU-pinned memory (no storage involved)."""
+
+    name = "DGL-UVA"
+
+    def __init__(
+        self,
+        dataset: ScaledDataset,
+        system: SystemConfig,
+        *,
+        batch_size: int = 1024,
+        fanouts: tuple[int, ...] = (10, 5, 5),
+        features: np.ndarray | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if dataset.total_bytes > system.usable_cpu_memory:
+            raise CapacityError(
+                f"{dataset.name} needs {dataset.total_bytes} bytes pinned but "
+                f"only {system.usable_cpu_memory:.0f} bytes of CPU memory are "
+                "usable; UVA requires the whole dataset in CPU memory"
+            )
+        self.dataset = dataset
+        self.system = system
+        self.batch_size = batch_size
+        self._rng = as_rng(seed)
+
+        self.store = FeatureStore(
+            dataset.num_nodes, dataset.feature_dim, data=features
+        )
+        self.gpu = GPUModel(system.gpu)
+        self.pcie = PCIeLink(system.pcie)
+        self.sampler = NeighborSampler(dataset.graph, fanouts, seed=self._rng)
+        self._seed_stream = self._seed_batches()
+
+    def _seed_batches(self) -> Iterator[np.ndarray]:
+        while True:
+            yield from epoch_seed_batches(
+                self.dataset.train_ids,
+                self.batch_size,
+                shuffle=True,
+                seed=self._rng,
+            )
+
+    def _one_iteration(self) -> tuple[MiniBatch, IterationMetrics]:
+        seeds = next(self._seed_stream)
+        batch = self.sampler.sample(seeds)
+        n_nodes = batch.num_input_nodes
+        feature_bytes = n_nodes * self.store.feature_bytes
+
+        sampling_time = self.gpu.sampling_time(
+            batch.num_sampled, n_kernels=batch.num_layers
+        )
+        # Zero-copy gather streams features from pinned DRAM over PCIe.
+        aggregation_time = feature_bytes / self.pcie.cpu_path_bandwidth
+        times = StageTimes(
+            sampling=sampling_time,
+            aggregation=aggregation_time,
+            transfer=0.0,
+            training=self.gpu.training_time(n_nodes),
+        )
+        counters = TransferCounters(
+            cpu_buffer_requests=n_nodes,
+            cpu_buffer_bytes=feature_bytes,
+        )
+        metrics = IterationMetrics(
+            times=times,
+            num_seeds=len(batch.seeds),
+            num_input_nodes=n_nodes,
+            num_sampled=batch.num_sampled,
+            num_edges=batch.num_edges,
+            counters=counters,
+        )
+        return batch, metrics
+
+    def run(self, num_iterations: int, *, warmup: int = 0) -> RunReport:
+        """Measure ``num_iterations`` (UVA needs no cache warmup)."""
+        if num_iterations <= 0:
+            raise ConfigError("num_iterations must be positive")
+        if warmup < 0:
+            raise ConfigError("warmup must be non-negative")
+        for _ in range(warmup):
+            self._one_iteration()
+        report = RunReport(loader_name=self.name, overlapped=False)
+        for _ in range(num_iterations):
+            _, metrics = self._one_iteration()
+            report.append(metrics)
+        return report
+
+    def iter_batches(
+        self, num_iterations: int
+    ) -> Iterator[tuple[MiniBatch, np.ndarray]]:
+        """Yield ``(mini-batch, input feature matrix)`` pairs for training."""
+        if num_iterations <= 0:
+            raise ConfigError("num_iterations must be positive")
+        for _ in range(num_iterations):
+            batch, _ = self._one_iteration()
+            yield batch, self.store.fetch(batch.input_nodes)

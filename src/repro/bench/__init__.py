@@ -1,0 +1,13 @@
+"""Benchmark harness: workload construction and experiment functions.
+
+``workloads`` builds scaled replicas of the paper's evaluation setups with
+all capacity ratios preserved; ``experiments`` contains one function per
+paper figure/table, each returning structured results and rendering the
+rows the paper reports.  The ``benchmarks/`` directory wraps these in
+pytest-benchmark entry points.
+"""
+
+from .workloads import Workload, get_workload
+from .tables import render_table
+
+__all__ = ["Workload", "get_workload", "render_table"]

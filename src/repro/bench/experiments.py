@@ -1,0 +1,1020 @@
+"""One function per paper figure/table.
+
+Each function builds its workload through :func:`repro.bench.get_workload`
+(cached per process), runs the loaders involved, and returns an
+:class:`ExperimentResult` whose rows mirror the series the paper plots.
+``benchmarks/`` wraps these in pytest-benchmark entry points; the examples
+call them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..baselines.ginex import GinexLoader
+from ..baselines.mmap_loader import DGLMmapLoader
+from ..config import (
+    INTEL_OPTANE,
+    SAMSUNG_980PRO,
+    SSDSpec,
+    SystemConfig,
+)
+from ..core.bam import BaMDataLoader
+from ..core.gids import GIDSDataLoader
+from ..graph.datasets import DATASETS, get_dataset_spec
+from ..sim.cpu import CPUModel
+from ..sim.gpu import GPUModel
+from ..sim.ssd import SSDArray, SSDMicrobench
+from ..utils import format_bytes
+from .tables import render_table
+from .workloads import Workload, get_workload
+
+#: Iterations measured per loader run (the paper measures 100 at full
+#: scale; 40 keeps every benchmark in seconds at our scale).
+MEASURE_ITERS = 40
+#: Warmup iterations: the paper uses 1000 for CPU baselines and 10 for
+#: GIDS (Section 4.1); our page caches reach steady state sooner.
+WARMUP_BASELINE = 150
+WARMUP_GIDS = 10
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular result of one reproduced figure or table."""
+
+    experiment: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        table = render_table(self.headers, self.rows, title=self.experiment)
+        if self.notes:
+            table += f"\n  paper: {self.notes}"
+        return table
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — request generation/consumption rates
+
+
+def fig03_request_rates(
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> ExperimentResult:
+    """Data-preparation request rates on CPU vs GPU (IGB-small workload).
+
+    Real sampled batches provide the request stream; the calibrated rate
+    models convert generated work into requests/second.
+    """
+    workload = get_workload("IGB-small")
+    gpu = GPUModel()
+    rows: list[list[object]] = []
+    for threads in thread_counts:
+        cpu = CPUModel(threads=threads)
+        rows.append(
+            [f"CPU ({threads} threads)", _fmt(cpu.request_rate / 1e6)]
+        )
+    rows.append(
+        ["GPU generation", _fmt(gpu.spec.request_generation_rate / 1e6)]
+    )
+    rows.append(
+        ["GPU consumption (training)",
+         _fmt(gpu.spec.training_consumption_rate / 1e6)]
+    )
+    cpu16 = CPUModel(threads=16)
+    return ExperimentResult(
+        experiment="Figure 3: feature-request rates (IGB-small)",
+        headers=["source", "Mreq/s"],
+        rows=rows,
+        notes="CPU plateaus at 4.1M req/s (16 threads); GPU generates 77M "
+        "and consumes 29M req/s",
+        extras={
+            "cpu_plateau": cpu16.request_rate,
+            "gpu_generation": gpu.spec.request_generation_rate,
+            "gpu_consumption": gpu.spec.training_consumption_rate,
+            "workload": workload.name,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — baseline training-time breakdown
+
+
+def fig05_breakdown(
+    dataset_names: tuple[str, ...] = (
+        "ogbn-papers100M",
+        "MAG240M",
+        "IGB-Full",
+        "IGBH-Full",
+    ),
+    iters: int = MEASURE_ITERS,
+) -> ExperimentResult:
+    """Stage breakdown of the DGL-mmap baseline across the four datasets."""
+    rows = []
+    extras = {}
+    for name in dataset_names:
+        workload = get_workload(name)
+        system = workload.system(INTEL_OPTANE)
+        loader = DGLMmapLoader(
+            workload.dataset,
+            system,
+            batch_size=workload.batch_size,
+            fanouts=workload.fanouts,
+            seed=1,
+        )
+        report = loader.run(iters, warmup=WARMUP_BASELINE)
+        fractions = report.breakdown_fractions()
+        rows.append(
+            [
+                name,
+                _fmt(100 * fractions["sampling"], 1),
+                _fmt(100 * fractions["aggregation"], 1),
+                _fmt(100 * fractions["transfer"], 1),
+                _fmt(100 * fractions["training"], 1),
+                _fmt(report.time_per_iteration() * 1e3, 2),
+            ]
+        )
+        extras[name] = fractions
+    return ExperimentResult(
+        experiment="Figure 5: DGL-mmap training-time breakdown (%)",
+        headers=[
+            "dataset", "sampling", "aggregation", "transfer", "training",
+            "ms/iter",
+        ],
+        rows=rows,
+        notes="sampling + aggregation dominate; training is barely visible "
+        "for the larger-than-memory IGB-Full/IGBH-Full graphs",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — CPU vs GPU graph sampling time
+
+
+def fig07_sampling(
+    dataset_names: tuple[str, ...] = ("IGB-tiny", "IGB-small", "IGB-medium"),
+    iters: int = 20,
+) -> ExperimentResult:
+    """Graph sampling time on CPU vs GPU for growing graph sizes."""
+    cpu = CPUModel(threads=16)
+    gpu = GPUModel()
+    rows = []
+    extras = {}
+    for name in dataset_names:
+        workload = get_workload(name)
+        sampler_work = []
+        from ..sampling.neighbor import NeighborSampler
+        from ..sampling.seeds import epoch_seed_batches
+
+        sampler = NeighborSampler(
+            workload.dataset.graph, workload.fanouts, seed=2
+        )
+        batches = epoch_seed_batches(
+            workload.dataset.train_ids, workload.batch_size, seed=2
+        )
+        for _, seeds in zip(range(iters), batches):
+            sampler_work.append(sampler.sample(seeds).num_sampled)
+        total = int(np.sum(sampler_work))
+        cpu_time = cpu.sampling_time(total)
+        gpu_time = gpu.sampling_time(
+            total, n_kernels=len(workload.fanouts) * iters
+        )
+        rows.append(
+            [
+                name,
+                _fmt(cpu_time * 1e3, 3),
+                _fmt(gpu_time * 1e3, 3),
+                _fmt(cpu_time / gpu_time, 2),
+            ]
+        )
+        extras[name] = cpu_time / gpu_time
+    return ExperimentResult(
+        experiment="Figure 7: graph sampling time, CPU vs GPU",
+        headers=["dataset", "CPU ms", "GPU ms", "GPU speedup"],
+        rows=rows,
+        notes="GPU wins everywhere, >3x on IGB-medium",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — SSD bandwidth vs overlapping accesses (model vs measured)
+
+
+def fig08_ssd_model(
+    overlaps: tuple[int, ...] = (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Eq. 2-3 model vs event-driven measurement for both SSDs."""
+    rows = []
+    extras = {}
+    for spec in (INTEL_OPTANE, SAMSUNG_980PRO):
+        arr = SSDArray(spec)
+        bench = SSDMicrobench(spec, seed=0)
+        measured = bench.sweep(list(overlaps), repeats=repeats)
+        for n, meas in zip(overlaps, measured):
+            model = arr.achieved_iops(n)
+            rows.append(
+                [
+                    spec.name,
+                    n,
+                    _fmt(model / 1e6, 3),
+                    _fmt(meas / 1e6, 3),
+                    _fmt(model * spec.page_bytes / 1e9, 2),
+                ]
+            )
+        required = arr.required_overlapping(0.95)
+        extras[spec.name] = {
+            "required_95pct": required,
+            "model_iops": [arr.achieved_iops(n) for n in overlaps],
+            "measured_iops": measured,
+        }
+    return ExperimentResult(
+        experiment="Figure 8: SSD IOPS vs overlapping accesses",
+        headers=["SSD", "overlapping", "model MIOPS", "measured MIOPS",
+                 "model GB/s"],
+        rows=rows,
+        notes="model tracks measurement; ~1k accesses reach 95% of peak on "
+        "Optane (paper: 812 model / 1024 measured)",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — dynamic storage access accumulator
+
+
+def fig09_accumulator(
+    batch_sizes: tuple[int, ...] = (32, 64, 128),
+    iters: int = MEASURE_ITERS,
+) -> ExperimentResult:
+    """PCIe ingress bandwidth with/without the accumulator (2 Optane SSDs,
+    fanout (5,5), IGB-Full), for both the BaM and GIDS dataloaders."""
+    workload = get_workload("IGB-Full", fanouts=(5, 5))
+    system = workload.system(INTEL_OPTANE, num_ssds=2)
+    rows = []
+    extras = {}
+    for batch_size in batch_sizes:
+        row = [batch_size]
+        for loader_name, gids_features in (("BaM", False), ("GIDS", True)):
+            for accumulate in (False, True):
+                config = workload.loader_config(
+                    accumulator_enabled=accumulate,
+                    cpu_buffer_fraction=0.10 if gids_features else 0.0,
+                    window_depth=8 if gids_features else 0,
+                )
+                loader = GIDSDataLoader(
+                    workload.dataset,
+                    system,
+                    config,
+                    batch_size=batch_size,
+                    fanouts=(5, 5),
+                    hot_nodes=workload.hot_nodes if gids_features else None,
+                    seed=3,
+                )
+                loader.name = loader_name
+                report = loader.run(iters, warmup=WARMUP_GIDS)
+                bw = report.pcie_ingress_bandwidth / 1e9
+                row.append(_fmt(bw, 2))
+                extras[(loader_name, accumulate, batch_size)] = bw
+        rows.append(row)
+    return ExperimentResult(
+        experiment="Figure 9: PCIe ingress bandwidth, GB/s "
+        "(2x Intel Optane, fanout (5,5))",
+        headers=[
+            "batch", "BaM", "BaM+acc", "GIDS", "GIDS+acc",
+        ],
+        rows=rows,
+        notes="accumulator lifts BaM up to 1.25x and GIDS up to 1.95x, "
+        "most at the smallest batch",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — constant CPU buffer
+
+
+def fig10_cpu_buffer(
+    fractions: tuple[float, ...] = (0.10, 0.20),
+    iters: int = MEASURE_ITERS,
+) -> ExperimentResult:
+    """Effective aggregation bandwidth vs CPU buffer size and hot-node
+    metric (single SSD, window buffering off, as in Section 4.4)."""
+    workload = get_workload("IGB-Full")
+    system = workload.system(INTEL_OPTANE, num_ssds=1)
+    rows = []
+    extras = {}
+
+    def run(fraction: float, metric: str) -> float:
+        config = workload.loader_config(
+            cpu_buffer_fraction=fraction,
+            window_depth=0,
+            hot_node_metric=metric,
+        )
+        hot = workload.hot_nodes if metric == "reverse_pagerank" else None
+        loader = GIDSDataLoader(
+            workload.dataset,
+            system,
+            config,
+            batch_size=workload.batch_size,
+            fanouts=workload.fanouts,
+            hot_nodes=hot,
+            seed=4,
+        )
+        report = loader.run(iters, warmup=WARMUP_GIDS)
+        return report.effective_aggregation_bandwidth / 1e9
+
+    baseline = run(0.0, "reverse_pagerank")
+    rows.append(["no CPU buffer", "-", _fmt(baseline, 2), "1.00"])
+    extras["baseline"] = baseline
+    for fraction in fractions:
+        for metric in ("random", "out_degree", "reverse_pagerank"):
+            bw = run(fraction, metric)
+            rows.append(
+                [
+                    f"{int(fraction * 100)}% buffer",
+                    metric,
+                    _fmt(bw, 2),
+                    _fmt(bw / baseline, 2),
+                ]
+            )
+            extras[(fraction, metric)] = bw
+    return ExperimentResult(
+        experiment="Figure 10: feature aggregation bandwidth with the "
+        "constant CPU buffer (GB/s, 1x Optane)",
+        headers=["buffer", "hot-node metric", "GB/s", "vs baseline"],
+        rows=rows,
+        notes="paper: 6.6 -> 10.4 (10%) -> 23.4 GB/s (20% + reverse "
+        "PageRank), up to 3.53x",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 11 & 12 — window buffering
+
+
+def fig11_window_depth(
+    depths: tuple[int, ...] = (0, 4, 8),
+    iters: int = 60,
+) -> ExperimentResult:
+    """Cache hit ratio and aggregation time vs window depth (8 GB-scaled
+    cache; CPU buffer off so cache behavior is isolated)."""
+    workload = get_workload("IGB-Full")
+    system = workload.system(INTEL_OPTANE, num_ssds=1)
+    rows = []
+    extras = {}
+    base_hit = None
+    base_time = None
+    for depth in depths:
+        config = workload.loader_config(
+            window_depth=depth, cpu_buffer_fraction=0.0
+        )
+        loader = GIDSDataLoader(
+            workload.dataset,
+            system,
+            config,
+            batch_size=workload.batch_size,
+            fanouts=workload.fanouts,
+            seed=5,
+        )
+        report = loader.run(iters, warmup=2 * WARMUP_GIDS)
+        hit = report.gpu_cache_hit_ratio
+        agg = report.aggregation_time / iters
+        if depth == depths[0]:
+            base_hit, base_time = max(hit, 1e-9), agg
+        rows.append(
+            [
+                depth,
+                _fmt(100 * hit, 2),
+                _fmt(hit / base_hit, 2),
+                _fmt(agg * 1e3, 3),
+                _fmt(base_time / agg, 3),
+            ]
+        )
+        extras[depth] = {"hit_ratio": hit, "agg_time": agg}
+    return ExperimentResult(
+        experiment="Figure 11: window buffering vs depth (8 GB-scaled cache)",
+        headers=[
+            "depth", "hit %", "hit vs depth0", "agg ms/iter", "agg speedup",
+        ],
+        rows=rows,
+        notes="paper: depth 4 -> 1.2x hit ratio / 1.04x time; depth 8 -> "
+        "2.19x hit ratio / 1.13x time",
+        extras=extras,
+    )
+
+
+def fig12_cache_sizes(
+    cache_gb: tuple[float, ...] = (4.0, 8.0, 16.0),
+    depth: int = 16,
+    iters: int = 60,
+) -> ExperimentResult:
+    """Window buffering (depth 16) vs random eviction across cache sizes."""
+    workload = get_workload("IGB-Full")
+    system = workload.system(INTEL_OPTANE, num_ssds=1)
+    rows = []
+    extras = {}
+    for gb in cache_gb:
+        cache_bytes = gb * 1e9 * workload.capacity_scale
+        results = {}
+        for window in (0, depth):
+            config = workload.loader_config(
+                gpu_cache_bytes=cache_bytes,
+                window_depth=window,
+                cpu_buffer_fraction=0.0,
+            )
+            loader = GIDSDataLoader(
+                workload.dataset,
+                system,
+                config,
+                batch_size=workload.batch_size,
+                fanouts=workload.fanouts,
+                seed=6,
+            )
+            report = loader.run(iters, warmup=2 * WARMUP_GIDS)
+            results[window] = report
+        base = results[0]
+        buffered = results[depth]
+        speedup = base.aggregation_time / buffered.aggregation_time
+        rows.append(
+            [
+                f"{gb:.0f} GB",
+                _fmt(100 * base.gpu_cache_hit_ratio, 2),
+                _fmt(100 * buffered.gpu_cache_hit_ratio, 2),
+                _fmt(speedup, 3),
+            ]
+        )
+        extras[gb] = {
+            "base_hit": base.gpu_cache_hit_ratio,
+            "window_hit": buffered.gpu_cache_hit_ratio,
+            "speedup": speedup,
+            "base_agg_time": base.aggregation_time,
+            "window_agg_time": buffered.aggregation_time,
+        }
+    return ExperimentResult(
+        experiment=f"Figure 12: window buffering (depth {depth}) vs cache size",
+        headers=["cache", "hit % (random)", "hit % (window)", "agg speedup"],
+        rows=rows,
+        notes="paper: 1.20x / 1.18x / 1.12x at 4 / 8 / 16 GB; 4 GB + window "
+        "beats 16 GB without",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 13 & 14 — end-to-end training time
+
+
+def _e2e_for_ssd(
+    ssd: SSDSpec,
+    dataset_names: tuple[str, ...],
+    iters: int,
+) -> ExperimentResult:
+    rows = []
+    extras = {}
+    for name in dataset_names:
+        workload = get_workload(name)
+        # IGBH-Full uses two SSDs in the paper (storage capacity).
+        num_ssds = 2 if name == "IGBH-Full" else 1
+        system = workload.system(ssd, num_ssds=num_ssds)
+        common = dict(
+            batch_size=workload.batch_size, fanouts=workload.fanouts, seed=7
+        )
+        config = workload.loader_config()
+        gids = GIDSDataLoader(
+            workload.dataset, system, config,
+            hot_nodes=workload.hot_nodes, **common,
+        ).run(iters, warmup=WARMUP_GIDS)
+        bam = BaMDataLoader(
+            workload.dataset, system, config, **common
+        ).run(iters, warmup=WARMUP_GIDS)
+        mmap = DGLMmapLoader(workload.dataset, system, **common).run(
+            iters, warmup=WARMUP_BASELINE
+        )
+        heterogeneous = workload.dataset.hetero is not None
+        if heterogeneous:
+            ginex_time = None  # Ginex supports only homogeneous graphs.
+        else:
+            ginex = GinexLoader(workload.dataset, system, **common).run(
+                iters, warmup=WARMUP_BASELINE
+            )
+            ginex_time = ginex.e2e_time
+        g = gids.e2e_time
+        rows.append(
+            [
+                name,
+                _fmt(g * 1e3, 2),
+                _fmt(bam.e2e_time * 1e3, 2),
+                "-" if ginex_time is None else _fmt(ginex_time * 1e3, 2),
+                _fmt(mmap.e2e_time * 1e3, 2),
+                _fmt(mmap.e2e_time / g, 1),
+                "-" if ginex_time is None else _fmt(ginex_time / g, 1),
+                _fmt(bam.e2e_time / g, 2),
+            ]
+        )
+        extras[name] = {
+            "GIDS": g,
+            "BaM": bam.e2e_time,
+            "Ginex": ginex_time,
+            "DGL-mmap": mmap.e2e_time,
+        }
+    return ExperimentResult(
+        experiment=f"E2E training time for {MEASURE_ITERS} iterations, ms "
+        f"({ssd.name})",
+        headers=[
+            "dataset", "GIDS", "BaM", "Ginex", "DGL-mmap",
+            "vs mmap", "vs Ginex", "vs BaM",
+        ],
+        rows=rows,
+        extras=extras,
+    )
+
+
+def fig13_e2e_980pro(
+    dataset_names: tuple[str, ...] = (
+        "ogbn-papers100M", "MAG240M", "IGB-Full", "IGBH-Full",
+    ),
+    iters: int = MEASURE_ITERS,
+) -> ExperimentResult:
+    """End-to-end comparison on Samsung 980 Pro SSDs."""
+    result = _e2e_for_ssd(SAMSUNG_980PRO, dataset_names, iters)
+    result.experiment = "Figure 13: " + result.experiment
+    result.notes = (
+        "paper: GIDS up to 582x vs DGL-mmap, 10.6-37x vs Ginex, ~3.1x vs BaM"
+    )
+    return result
+
+
+def fig14_e2e_optane(
+    dataset_names: tuple[str, ...] = (
+        "ogbn-papers100M", "MAG240M", "IGB-Full", "IGBH-Full",
+    ),
+    iters: int = MEASURE_ITERS,
+) -> ExperimentResult:
+    """End-to-end comparison on Intel Optane SSDs."""
+    result = _e2e_for_ssd(INTEL_OPTANE, dataset_names, iters)
+    result.experiment = "Figure 14: " + result.experiment
+    result.notes = (
+        "paper: GIDS up to 17.3x vs DGL-mmap, ~10.6x vs Ginex, ~3.2x vs BaM;"
+        " smaller gains than 980 Pro because Optane latency is ~30x lower"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 — LADIES layer-wise sampling
+
+
+def fig15_ladies(
+    iters: int = MEASURE_ITERS,
+    layer_sizes: tuple[int, ...] = (256, 256, 256),
+) -> ExperimentResult:
+    """Feature aggregation time with neighborhood vs LADIES sampling."""
+    workload = get_workload("IGB-Full")
+    system = workload.system(SAMSUNG_980PRO, num_ssds=1)
+    rows = []
+    extras = {}
+    for kind, kwargs in (
+        ("neighborhood", dict(sampler_kind="neighbor", fanouts=workload.fanouts)),
+        ("LADIES", dict(sampler_kind="ladies", layer_sizes=layer_sizes)),
+    ):
+        common = dict(batch_size=workload.batch_size, seed=8, **kwargs)
+        config = workload.loader_config()
+        gids = GIDSDataLoader(
+            workload.dataset, system, config,
+            hot_nodes=workload.hot_nodes, **common,
+        ).run(iters, warmup=WARMUP_GIDS)
+        bam = BaMDataLoader(
+            workload.dataset, system, config, **common
+        ).run(iters, warmup=WARMUP_GIDS)
+        mmap = DGLMmapLoader(workload.dataset, system, **common).run(
+            iters, warmup=WARMUP_BASELINE
+        )
+        g = gids.aggregation_time
+        rows.append(
+            [
+                kind,
+                _fmt(g * 1e3, 2),
+                _fmt(bam.aggregation_time * 1e3, 2),
+                _fmt(mmap.aggregation_time * 1e3, 2),
+                _fmt(mmap.aggregation_time / g, 1),
+                _fmt(bam.aggregation_time / g, 2),
+            ]
+        )
+        extras[kind] = {
+            "GIDS": g,
+            "BaM": bam.aggregation_time,
+            "DGL-mmap": mmap.aggregation_time,
+        }
+    return ExperimentResult(
+        experiment="Figure 15: feature aggregation time, ms "
+        "(Samsung 980 Pro)",
+        headers=["sampling", "GIDS", "BaM", "DGL-mmap", "vs mmap", "vs BaM"],
+        rows=rows,
+        notes="paper: with LADIES, GIDS is 412x faster than the DGL "
+        "dataloader and 1.92x faster than BaM",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables
+
+
+def table01_config() -> ExperimentResult:
+    """Table 1: the evaluation system configuration (encoded presets)."""
+    system = SystemConfig()
+    rows = [
+        ["CPU", system.cpu.name],
+        ["CPU memory", format_bytes(system.cpu.memory_bytes)],
+        ["GPU", system.gpu.name],
+        ["GPU memory", format_bytes(system.gpu.memory_bytes)],
+        ["HBM bandwidth", f"{system.gpu.hbm_bandwidth / 1e9:.0f} GB/s"],
+        ["PCIe", system.pcie.name],
+        ["PCIe bandwidth", f"{system.pcie.bandwidth_bytes / 1e9:.0f} GB/s"],
+        [
+            "SSDs",
+            f"{INTEL_OPTANE.name} (11us, 1.5M IOPS) / "
+            f"{SAMSUNG_980PRO.name} (324us, 0.7M IOPS)",
+        ],
+    ]
+    return ExperimentResult(
+        experiment="Table 1: evaluation system configuration",
+        headers=["component", "specification"],
+        rows=rows,
+    )
+
+
+def table02_datasets() -> ExperimentResult:
+    """Table 2: real-world dataset characteristics (full scale)."""
+    rows = []
+    for name in ("ogbn-papers100M", "IGB-Full", "MAG240M", "IGBH-Full"):
+        spec = get_dataset_spec(name)
+        rows.append(
+            [
+                name,
+                "heterogeneous" if spec.heterogeneous else "homogeneous",
+                f"{spec.num_nodes:,}",
+                f"{spec.num_edges:,}",
+                spec.feature_dim,
+            ]
+        )
+    return ExperimentResult(
+        experiment="Table 2: real-world datasets",
+        headers=["dataset", "type", "nodes", "edges", "feature dim"],
+        rows=rows,
+    )
+
+
+def table03_igb_microbench() -> ExperimentResult:
+    """Table 3: IGB micro-benchmark datasets (full scale)."""
+    rows = []
+    for name in ("IGB-tiny", "IGB-small", "IGB-medium", "IGB-large"):
+        spec = get_dataset_spec(name)
+        rows.append(
+            [name, f"{spec.num_nodes:,}", f"{spec.num_edges:,}",
+             spec.feature_dim]
+        )
+    return ExperimentResult(
+        experiment="Table 3: IGB micro-benchmark datasets",
+        headers=["dataset", "nodes", "edges", "feature dim"],
+        rows=rows,
+    )
+
+
+def table04_sizes() -> ExperimentResult:
+    """Table 4: feature vs structure size split, full scale and scaled."""
+    rows = []
+    extras = {}
+    for name in ("ogbn-papers100M", "IGB-Full", "MAG240M", "IGBH-Full"):
+        spec = get_dataset_spec(name)
+        feature_pct = 100 * spec.feature_data_bytes / spec.total_bytes
+        structure_pct = 100 * spec.structure_data_bytes / spec.total_bytes
+        workload = get_workload(name)
+        rows.append(
+            [
+                name,
+                _fmt(spec.reported_feature_pct, 1),
+                _fmt(spec.reported_structure_pct, 1),
+                _fmt(feature_pct, 1),
+                format_bytes(spec.reported_total_bytes),
+                format_bytes(workload.dataset.total_bytes),
+            ]
+        )
+        extras[name] = {
+            "feature_pct": feature_pct,
+            "structure_pct": structure_pct,
+            "reported_feature_pct": spec.reported_feature_pct,
+        }
+    return ExperimentResult(
+        experiment="Table 4: dataset size distribution",
+        headers=[
+            "dataset", "feature % (paper)", "structure % (paper)",
+            "feature % (replica)", "full-scale size", "scaled replica",
+        ],
+        rows=rows,
+        notes="paper: features are 68-96% of each dataset; structure always "
+        "fits CPU memory",
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations beyond the paper's figures
+
+
+def ablation_accumulator_target(
+    targets: tuple[float, ...] = (0.80, 0.90, 0.95, 0.99),
+    iters: int = MEASURE_ITERS,
+) -> ExperimentResult:
+    """Sensitivity of GIDS to the accumulator's peak-IOPS target."""
+    workload = get_workload("IGB-Full")
+    system = workload.system(INTEL_OPTANE, num_ssds=1)
+    rows = []
+    extras = {}
+    for target in targets:
+        config = workload.loader_config(accumulator_target=target)
+        loader = GIDSDataLoader(
+            workload.dataset,
+            system,
+            config,
+            batch_size=workload.batch_size,
+            fanouts=workload.fanouts,
+            hot_nodes=workload.hot_nodes,
+            seed=9,
+        )
+        report = loader.run(iters, warmup=WARMUP_GIDS)
+        threshold = loader.accumulator.storage_threshold
+        rows.append(
+            [
+                _fmt(target, 2),
+                threshold,
+                _fmt(report.pcie_ingress_bandwidth / 1e9, 2),
+                _fmt(report.time_per_iteration() * 1e3, 3),
+            ]
+        )
+        extras[target] = report.time_per_iteration()
+    return ExperimentResult(
+        experiment="Ablation: accumulator target fraction",
+        headers=["target", "storage threshold", "PCIe GB/s", "ms/iter"],
+        rows=rows,
+        notes="higher targets merge more iterations; returns diminish near "
+        "peak while buffer memory grows",
+        extras=extras,
+    )
+
+
+def ablation_ssd_scaling(
+    ssd_counts: tuple[int, ...] = (1, 2, 4),
+    iters: int = MEASURE_ITERS,
+) -> ExperimentResult:
+    """Multi-SSD scaling (Section 3.2): collective bandwidth and the
+    accumulator's threshold both scale with the SSD count."""
+    workload = get_workload("IGB-Full")
+    rows = []
+    extras = {}
+    for num_ssds in ssd_counts:
+        system = workload.system(INTEL_OPTANE, num_ssds=num_ssds)
+        array = SSDArray(INTEL_OPTANE, num_ssds)
+        loader = GIDSDataLoader(
+            workload.dataset,
+            system,
+            workload.loader_config(),
+            batch_size=workload.batch_size,
+            fanouts=workload.fanouts,
+            hot_nodes=workload.hot_nodes,
+            seed=11,
+        )
+        report = loader.run(iters, warmup=WARMUP_GIDS)
+        threshold = array.required_overlapping(0.95)
+        rows.append(
+            [
+                num_ssds,
+                _fmt(array.peak_bandwidth / 1e9, 2),
+                threshold,
+                _fmt(report.pcie_ingress_bandwidth / 1e9, 2),
+                _fmt(report.time_per_iteration() * 1e3, 3),
+            ]
+        )
+        extras[num_ssds] = {
+            "threshold": threshold,
+            "ms_per_iter": report.time_per_iteration() * 1e3,
+            "pcie_gbps": report.pcie_ingress_bandwidth / 1e9,
+        }
+    return ExperimentResult(
+        experiment="Ablation: SSD count scaling (Intel Optane, GIDS)",
+        headers=["SSDs", "peak GB/s", "95% threshold", "PCIe GB/s",
+                 "ms/iter"],
+        rows=rows,
+        notes="Section 3.2: the required overlap scales linearly with the "
+        "SSD count; collective bandwidth approaches the PCIe ceiling",
+        extras=extras,
+    )
+
+
+def ablation_feature_dimension(
+    dims: tuple[int, ...] = (128, 512, 1024, 2048),
+    iters: int = MEASURE_ITERS,
+) -> ExperimentResult:
+    """Feature dimension vs storage traffic (Section 2.1's 512 B - 4 KB
+    range).
+
+    Small vectors pack several nodes per 4 KB page (helpful spatial
+    sharing), dim-1024 vectors fill a page exactly, and larger vectors
+    span pages.  The same sampled workload is served at every dimension so
+    the page-count differences isolate the layout effect.
+    """
+    from dataclasses import replace as dc_replace
+
+    base = get_workload("IGB-Full")
+    system = base.system(INTEL_OPTANE)
+    rows = []
+    extras = {}
+    for dim in dims:
+        spec = dc_replace(base.dataset.spec, feature_dim=dim)
+        dataset = type(base.dataset)(
+            spec=spec,
+            scale=base.dataset.scale,
+            graph=base.dataset.graph,
+            hetero=base.dataset.hetero,
+            train_ids=base.dataset.train_ids,
+            feature_dim=dim,
+        )
+        # The GPU cache keeps its byte size (hardware is fixed); what
+        # changes with the dimension is how many vectors it can hold.
+        config = base.loader_config()
+        loader = GIDSDataLoader(
+            dataset,
+            system,
+            config,
+            batch_size=base.batch_size,
+            fanouts=base.fanouts,
+            hot_nodes=base.hot_nodes,
+            seed=13,
+        )
+        report = loader.run(iters, warmup=WARMUP_GIDS)
+        nodes = report.total_input_nodes
+        pages = report.counters.storage_requests
+        rows.append(
+            [
+                dim,
+                loader.layout.nodes_per_page,
+                loader.layout.pages_per_node,
+                _fmt(pages / max(1, nodes), 3),
+                _fmt(report.effective_aggregation_bandwidth / 1e9, 2),
+                _fmt(report.time_per_iteration() * 1e3, 3),
+            ]
+        )
+        extras[dim] = {
+            "pages_per_requested_node": pages / max(1, nodes),
+            "ms_per_iter": report.time_per_iteration() * 1e3,
+        }
+    return ExperimentResult(
+        experiment="Ablation: feature dimension vs storage traffic",
+        headers=["dim", "nodes/page", "pages/node", "storage pages per "
+                 "requested node", "eff GB/s", "ms/iter"],
+        rows=rows,
+        notes="vectors larger than a page double storage requests; "
+        "page-sharing at small dims helps only mildly because sparse "
+        "random node ids rarely co-reside on a page (Section 2.1 / 3.5)",
+        extras=extras,
+    )
+
+
+def ablation_structure_placement(
+    iters: int = MEASURE_ITERS,
+) -> ExperimentResult:
+    """Section 3.5: why graph structure belongs in CPU memory, not storage.
+
+    The paper's two arguments, made quantitative on a real sampled
+    workload: (1) structure reads are 8-16 B but storage moves 4 KB pages
+    — massive I/O amplification; (2) those fine-grained random pages would
+    pollute the GPU software cache.  We count the actual structure
+    accesses of the sampled iterations and model three placements:
+    pinned in CPU memory over UVA (GIDS's choice), fetched from storage,
+    and fetched from storage through the (shared) GPU cache.
+    """
+    workload = get_workload("IGB-Full")
+    dataset = workload.dataset
+    system = workload.system(INTEL_OPTANE)
+    array = SSDArray(INTEL_OPTANE)
+
+    from ..sampling.neighbor import NeighborSampler
+    from ..sampling.seeds import epoch_seed_batches
+    from ..sim.pcie import PCIeLink
+
+    sampler = NeighborSampler(dataset.graph, workload.fanouts, seed=12)
+    batches = epoch_seed_batches(
+        dataset.train_ids, workload.batch_size, seed=12
+    )
+    structure_accesses = 0
+    structure_pages = 0
+    rng = np.random.default_rng(12)
+    for _, seeds in zip(range(iters), batches):
+        batch = sampler.sample(seeds)
+        # One adjacency-list lookup per sampled node instance: an indptr
+        # pair (16 B) plus the touched neighbor entries (8 B each).
+        structure_accesses += batch.num_sampled
+        # Each lookup lands on an effectively random 4 KB page of the
+        # structure file (neighbor lists are small vs the page size).
+        structure_pages += len(
+            np.unique(
+                rng.integers(
+                    0,
+                    max(1, dataset.structure_data_bytes // 4096),
+                    size=batch.num_sampled,
+                )
+            )
+        )
+
+    entry_bytes = 16  # indptr pair per lookup
+    useful_bytes = structure_accesses * entry_bytes
+    page_bytes_moved = structure_pages * 4096
+    amplification = page_bytes_moved / max(1, useful_bytes)
+
+    pcie = PCIeLink(system.pcie)
+    uva_time = useful_bytes / pcie.cpu_path_bandwidth
+    storage_time = array.batch_service_time(structure_pages)
+
+    rows = [
+        [
+            "pinned in CPU memory (UVA, GIDS)",
+            _fmt(useful_bytes / 1e6, 2),
+            _fmt(useful_bytes / 1e6, 2),
+            "1.0",
+            _fmt(uva_time * 1e3, 3),
+        ],
+        [
+            "stored on SSD",
+            _fmt(useful_bytes / 1e6, 2),
+            _fmt(page_bytes_moved / 1e6, 2),
+            _fmt(amplification, 1),
+            _fmt(storage_time * 1e3, 3),
+        ],
+    ]
+    return ExperimentResult(
+        experiment="Ablation (Section 3.5): graph structure placement, "
+        f"{iters} iterations",
+        headers=["placement", "useful MB", "moved MB", "amplification",
+                 "time ms"],
+        rows=rows,
+        notes="structure access granularity (8-16 B) vs 4 KB pages makes "
+        "storage placement amplify I/O by orders of magnitude and would "
+        "pollute the GPU cache; pinning in CPU memory is cheap because "
+        "structure is ~5% of the dataset (Table 4)",
+        extras={
+            "amplification": amplification,
+            "uva_time": uva_time,
+            "storage_time": storage_time,
+            "structure_fraction": (
+                dataset.structure_data_bytes / dataset.total_bytes
+            ),
+        },
+    )
+
+
+def ablation_eviction_policy(iters: int = 60) -> ExperimentResult:
+    """GPU cache eviction policy: random (BaM default) vs LRU."""
+    workload = get_workload("IGB-Full")
+    system = workload.system(INTEL_OPTANE, num_ssds=1)
+    rows = []
+    extras = {}
+    for policy in ("random", "lru"):
+        config = workload.loader_config(cpu_buffer_fraction=0.0)
+        loader = GIDSDataLoader(
+            workload.dataset,
+            system,
+            config,
+            batch_size=workload.batch_size,
+            fanouts=workload.fanouts,
+            seed=10,
+        )
+        loader.cache.policy = policy  # set before any access
+        report = loader.run(iters, warmup=2 * WARMUP_GIDS)
+        rows.append(
+            [
+                policy,
+                _fmt(100 * report.gpu_cache_hit_ratio, 2),
+                _fmt(report.aggregation_time / iters * 1e3, 3),
+            ]
+        )
+        extras[policy] = report.gpu_cache_hit_ratio
+    return ExperimentResult(
+        experiment="Ablation: GPU cache eviction policy (window depth 8)",
+        headers=["policy", "hit %", "agg ms/iter"],
+        rows=rows,
+        notes="random eviction is what BaM ships; window buffering matters "
+        "more than the underlying policy",
+        extras=extras,
+    )

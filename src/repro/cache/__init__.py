@@ -1,0 +1,22 @@
+"""Caching tiers used by the dataloaders.
+
+* :class:`GPUSoftwareCache` — BaM's application-defined software cache in
+  GPU memory, with random eviction by default and the pinnable "USE" state
+  that GIDS's window buffering drives (Section 3.4).
+* :class:`BeladyCache` — look-ahead optimal eviction, the policy Ginex runs
+  on the CPU with super-batch samples (Section 5).
+* :class:`ConstantCPUBuffer` — the static hot-node buffer pinned in CPU
+  memory (Section 3.3).
+"""
+
+from .base import CacheStats
+from .gpu_cache import GPUSoftwareCache
+from .belady import BeladyCache
+from .cpu_buffer import ConstantCPUBuffer
+
+__all__ = [
+    "CacheStats",
+    "GPUSoftwareCache",
+    "BeladyCache",
+    "ConstantCPUBuffer",
+]

@@ -1,0 +1,118 @@
+"""Belady (optimal look-ahead) cache, as used by Ginex.
+
+Ginex samples a *super-batch* of mini-batches up front, which makes the full
+future access sequence within the super-batch known; it then evicts the
+resident page whose next use is farthest away — Belady's provably optimal
+policy (Section 5 of the GIDS paper; Park et al., VLDB'22).  Cache contents
+persist across super-batches; uses beyond the current super-batch horizon are
+treated as "never".
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import CacheStats
+
+#: Sentinel "never used again" position.
+_NEVER = np.iinfo(np.int64).max
+
+
+class BeladyCache:
+    """Optimal-eviction page cache over super-batch access sequences."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 0:
+            raise ConfigError("capacity must be non-negative")
+        self.capacity_pages = capacity_pages
+        self.stats = CacheStats()
+        # page -> next use position (within the current super-batch frame).
+        self._next_use: dict[int, int] = {}
+        # Lazy max-heap of (-next_use, page); stale entries are skipped.
+        self._heap: list[tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._next_use)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._next_use
+
+    def process_superbatch(self, accesses: np.ndarray) -> tuple[int, int]:
+        """Run one super-batch of page accesses through the cache.
+
+        Args:
+            accesses: page ids in access order (the concatenation of the
+                super-batch's per-iteration unique page lists).
+
+        Returns:
+            ``(hits, misses)`` for this super-batch.
+        """
+        accesses = np.asarray(accesses, dtype=np.int64)
+        n = len(accesses)
+        if n == 0:
+            return 0, 0
+        if self.capacity_pages == 0:
+            self.stats.misses += n
+            self.stats.bypasses += n
+            return 0, n
+
+        next_use = _next_use_positions(accesses)
+        # Pages carried over from the previous super-batch get their first
+        # position in this one (or "never").
+        unique_pages, first_idx = np.unique(accesses, return_index=True)
+        first_pos = dict(
+            zip(unique_pages.tolist(), first_idx.tolist())
+        )
+        for page in list(self._next_use):
+            self._next_use[page] = first_pos.get(page, _NEVER)
+            heapq.heappush(self._heap, (-self._next_use[page], page))
+
+        hits = 0
+        misses = 0
+        for i in range(n):
+            page = int(accesses[i])
+            nxt = int(next_use[i])
+            if page in self._next_use:
+                hits += 1
+                self._next_use[page] = nxt
+                heapq.heappush(self._heap, (-nxt, page))
+            else:
+                misses += 1
+                if len(self._next_use) >= self.capacity_pages:
+                    self._evict_farthest()
+                self._next_use[page] = nxt
+                heapq.heappush(self._heap, (-nxt, page))
+        self.stats.hits += hits
+        self.stats.misses += misses
+        return hits, misses
+
+    def _evict_farthest(self) -> None:
+        """Evict the resident page with the farthest (or no) next use."""
+        while self._heap:
+            neg_next, page = heapq.heappop(self._heap)
+            current = self._next_use.get(page)
+            if current is not None and current == -neg_next:
+                del self._next_use[page]
+                self.stats.evictions += 1
+                return
+        raise AssertionError("eviction requested from an empty cache")
+
+
+def _next_use_positions(accesses: np.ndarray) -> np.ndarray:
+    """For each position, the next position of the same page (or NEVER).
+
+    Vectorized: a stable sort by page groups equal pages with ascending
+    positions, so each element's successor within its group is its next use.
+    """
+    n = len(accesses)
+    next_use = np.full(n, _NEVER, dtype=np.int64)
+    if n == 0:
+        return next_use
+    order = np.argsort(accesses, kind="stable")
+    sorted_pages = accesses[order]
+    same_as_next = sorted_pages[:-1] == sorted_pages[1:]
+    next_use[order[:-1][same_as_next]] = order[1:][same_as_next]
+    return next_use

@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``datasets`` — print the dataset registry (Tables 2-3).
+* ``run`` — run one or all dataloaders on a scaled workload and print a
+  comparison (optionally JSON/CSV).
+* ``figure`` — regenerate one paper figure/table by name.
+* ``train`` — functional GraphSAGE training through the GIDS loader.
+* ``ssd-model`` — print the Eq. 2-3 bandwidth model for an SSD.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.tables import render_table
+from .config import INTEL_OPTANE, SAMSUNG_980PRO, SSDSpec
+
+_SSDS: dict[str, SSDSpec] = {
+    "optane": INTEL_OPTANE,
+    "980pro": SAMSUNG_980PRO,
+}
+
+#: figure/table name -> experiment function name in repro.bench.experiments.
+_EXPERIMENTS = {
+    "fig03": "fig03_request_rates",
+    "fig05": "fig05_breakdown",
+    "fig07": "fig07_sampling",
+    "fig08": "fig08_ssd_model",
+    "fig09": "fig09_accumulator",
+    "fig10": "fig10_cpu_buffer",
+    "fig11": "fig11_window_depth",
+    "fig12": "fig12_cache_sizes",
+    "fig13": "fig13_e2e_980pro",
+    "fig14": "fig14_e2e_optane",
+    "fig15": "fig15_ladies",
+    "table01": "table01_config",
+    "table02": "table02_datasets",
+    "table03": "table03_igb_microbench",
+    "table04": "table04_sizes",
+    "ablation-target": "ablation_accumulator_target",
+    "ablation-eviction": "ablation_eviction_policy",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GIDS reproduction (PVLDB 17(6), 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset registry")
+
+    run = sub.add_parser("run", help="compare dataloaders on a workload")
+    run.add_argument("--dataset", default="IGB-Full")
+    run.add_argument("--scale", type=float, default=None,
+                     help="dataset shrink factor (default: per-dataset)")
+    run.add_argument("--ssd", choices=sorted(_SSDS), default="optane")
+    run.add_argument("--num-ssds", type=int, default=1)
+    run.add_argument(
+        "--loader",
+        choices=["gids", "bam", "mmap", "ginex", "all"],
+        default="all",
+    )
+    run.add_argument("--iterations", type=int, default=40)
+    run.add_argument("--format", choices=["table", "json", "csv"],
+                     default="table")
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    train = sub.add_parser("train", help="functional GraphSAGE training")
+    train.add_argument("--dataset", default="IGB-tiny")
+    train.add_argument("--scale", type=float, default=0.1)
+    train.add_argument("--iterations", type=int, default=60)
+    train.add_argument("--classes", type=int, default=8)
+    train.add_argument("--hidden-dim", type=int, default=64)
+    train.add_argument("--batch-size", type=int, default=256)
+
+    ssd = sub.add_parser("ssd-model", help="Eq. 2-3 bandwidth model")
+    ssd.add_argument("--ssd", choices=sorted(_SSDS), default="optane")
+    ssd.add_argument("--num-ssds", type=int, default=1)
+    ssd.add_argument("--target", type=float, default=0.95)
+    return parser
+
+
+def _cmd_datasets() -> int:
+    from .graph.datasets import DATASETS
+
+    rows = []
+    for spec in DATASETS.values():
+        rows.append(
+            [
+                spec.name,
+                "hetero" if spec.heterogeneous else "homo",
+                f"{spec.num_nodes:,}",
+                f"{spec.num_edges:,}",
+                spec.feature_dim,
+                f"{spec.total_bytes / 1e9:.1f} GB",
+            ]
+        )
+    print(
+        render_table(
+            ["dataset", "type", "nodes", "edges", "dim", "computed size"],
+            rows,
+            title="Dataset registry (Tables 2-3 of the paper)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .baselines.ginex import GinexLoader
+    from .baselines.mmap_loader import DGLMmapLoader
+    from .bench.workloads import get_workload
+    from .core.bam import BaMDataLoader
+    from .core.gids import GIDSDataLoader
+    from .pipeline.export import report_to_json, reports_to_comparison_csv
+
+    workload = get_workload(args.dataset, scale=args.scale)
+    system = workload.system(_SSDS[args.ssd], num_ssds=args.num_ssds)
+    config = workload.loader_config()
+    common = dict(
+        batch_size=workload.batch_size, fanouts=workload.fanouts, seed=1
+    )
+
+    heterogeneous = workload.dataset.hetero is not None
+    selected = (
+        ["gids", "bam", "ginex", "mmap"]
+        if args.loader == "all"
+        else [args.loader]
+    )
+    reports = []
+    for kind in selected:
+        if kind == "gids":
+            loader = GIDSDataLoader(
+                workload.dataset, system, config,
+                hot_nodes=workload.hot_nodes, **common,
+            )
+            reports.append(loader.run(args.iterations, warmup=10))
+        elif kind == "bam":
+            loader = BaMDataLoader(workload.dataset, system, config, **common)
+            reports.append(loader.run(args.iterations, warmup=10))
+        elif kind == "ginex":
+            if heterogeneous:
+                print(
+                    "note: Ginex supports only homogeneous graphs; skipped",
+                    file=sys.stderr,
+                )
+                continue
+            loader = GinexLoader(workload.dataset, system, **common)
+            reports.append(loader.run(args.iterations, warmup=150))
+        else:
+            loader = DGLMmapLoader(workload.dataset, system, **common)
+            reports.append(loader.run(args.iterations, warmup=150))
+
+    if not reports:
+        print("no loader could run on this workload", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print("[" + ",\n".join(report_to_json(r) for r in reports) + "]")
+    elif args.format == "csv":
+        print(reports_to_comparison_csv(reports), end="")
+    else:
+        slowest = max(r.e2e_time for r in reports)
+        rows = [
+            [
+                r.loader_name,
+                f"{r.e2e_time * 1e3:.2f}",
+                f"{r.time_per_iteration() * 1e3:.3f}",
+                f"{slowest / r.e2e_time:.1f}x",
+            ]
+            for r in reports
+        ]
+        print(
+            render_table(
+                ["loader", f"E2E ms ({args.iterations} iters)", "ms/iter",
+                 "speedup vs slowest"],
+                rows,
+                title=f"{args.dataset} on {_SSDS[args.ssd].name} "
+                f"x{args.num_ssds}",
+            )
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .bench import experiments
+
+    fn = getattr(experiments, _EXPERIMENTS[args.name])
+    print(fn().render())
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .config import LoaderConfig, SystemConfig
+    from .core.gids import GIDSDataLoader
+    from .graph.datasets import load_scaled
+    from .pipeline.runner import TrainingPipeline
+    from .training.graphsage import GraphSAGE
+
+    dataset = load_scaled(args.dataset, args.scale, seed=0)
+    system = SystemConfig(
+        cpu_memory_limit_bytes=dataset.total_bytes * 0.5
+    )
+    config = LoaderConfig(
+        gpu_cache_bytes=dataset.feature_data_bytes * 0.02,
+        cpu_buffer_fraction=0.10,
+        window_depth=4,
+    )
+    loader = GIDSDataLoader(
+        dataset, system, config, batch_size=args.batch_size,
+        fanouts=(5, 5), seed=1,
+    )
+    model = GraphSAGE(
+        dataset.feature_dim, args.hidden_dim, args.classes,
+        num_layers=2, lr=0.05, seed=0,
+    )
+    pipeline = TrainingPipeline(loader, model, num_classes=args.classes)
+    result = pipeline.train(args.iterations)
+    first = sum(result.losses[:5]) / 5
+    last = sum(result.losses[-5:]) / 5
+    print(f"trained {result.num_steps} steps: loss {first:.4f} -> {last:.4f}")
+    print(f"final training accuracy: {result.final_train_accuracy:.1%}")
+    return 0
+
+
+def _cmd_ssd_model(args: argparse.Namespace) -> int:
+    from .sim.ssd import SSDArray
+
+    array = SSDArray(_SSDS[args.ssd], args.num_ssds)
+    rows = []
+    for n in (32, 128, 512, 2048, 8192, 32768):
+        rows.append(
+            [
+                n,
+                f"{array.achieved_iops(n) / 1e6:.3f}",
+                f"{array.achieved_bandwidth(n) / 1e9:.2f}",
+            ]
+        )
+    print(
+        render_table(
+            ["overlapping", "MIOPS", "GB/s"],
+            rows,
+            title=f"{array.spec.name} x{array.num_ssds}",
+        )
+    )
+    required = array.required_overlapping(args.target)
+    print(
+        f"{required} overlapping accesses reach "
+        f"{args.target:.0%} of peak"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "ssd-model":
+        return _cmd_ssd_model(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

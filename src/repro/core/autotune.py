@@ -1,0 +1,126 @@
+"""Window-buffer depth selection (Section 3.4's trade-off, automated).
+
+The paper sets the default window depth to 8 "based on the system
+environment" and lists the two costs of going deeper: (1) the sampled
+node-ID lists of all windowed iterations must stay in GPU memory, and
+(2) a deeper window pins a larger share of the GPU cache, increasing
+contention on the evictable lines.  :func:`recommend_window_depth` encodes
+both constraints analytically; :func:`measure_window_depths` is the
+empirical companion that probes candidate depths on a short run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WindowRecommendation:
+    """Outcome of the analytic depth recommendation."""
+
+    depth: int
+    pin_limit_depth: int
+    memory_limit_depth: int
+
+    @property
+    def binding_constraint(self) -> str:
+        """Which limit determined the recommended depth."""
+        tightest = min(self.pin_limit_depth, self.memory_limit_depth)
+        if self.depth < tightest:
+            return "max_depth"
+        if self.pin_limit_depth <= self.memory_limit_depth:
+            return "cache_pinning"
+        return "window_memory"
+
+
+def recommend_window_depth(
+    *,
+    cache_lines: int,
+    batch_unique_pages: int,
+    batch_node_id_bytes: int = 8,
+    window_memory_budget_bytes: float = 256e6,
+    pin_fraction_limit: float = 0.75,
+    max_depth: int = 32,
+) -> WindowRecommendation:
+    """Pick a window depth from the cache and memory constraints.
+
+    Args:
+        cache_lines: GPU software-cache capacity in pages.
+        batch_unique_pages: unique feature pages one mini-batch touches
+            (measure one sampled batch, or use
+            ``MiniBatch.num_input_nodes`` with one-page features).
+        batch_node_id_bytes: bytes per stored sampled node id.
+        window_memory_budget_bytes: GPU memory reserved for the window's
+            node-ID lists ("several megabytes" per mini-batch at paper
+            scale; the budget bounds their total).
+        pin_fraction_limit: largest share of the cache the window may pin;
+            beyond it, misses start bypassing the cache wholesale.
+        max_depth: hard upper bound.
+
+    Returns:
+        The recommended depth together with the per-constraint limits.
+    """
+    if cache_lines < 0:
+        raise ConfigError("cache_lines must be non-negative")
+    if batch_unique_pages <= 0:
+        raise ConfigError("batch_unique_pages must be positive")
+    if not 0.0 < pin_fraction_limit <= 1.0:
+        raise ConfigError("pin_fraction_limit must be in (0, 1]")
+    if window_memory_budget_bytes < 0:
+        raise ConfigError("window memory budget must be non-negative")
+    if max_depth <= 0:
+        raise ConfigError("max_depth must be positive")
+
+    # Constraint 1: pinned pages of W future iterations must leave the
+    # cache enough evictable lines.  Cross-iteration overlap means the
+    # worst case (W disjoint batches) is conservative — the right
+    # direction for a default.
+    pin_limit = int(pin_fraction_limit * cache_lines // batch_unique_pages)
+
+    # Constraint 2: node-ID lists of W iterations within the budget.
+    per_batch_bytes = batch_unique_pages * batch_node_id_bytes
+    memory_limit = int(window_memory_budget_bytes // per_batch_bytes)
+
+    depth = max(0, min(pin_limit, memory_limit, max_depth))
+    return WindowRecommendation(
+        depth=depth,
+        pin_limit_depth=pin_limit,
+        memory_limit_depth=memory_limit,
+    )
+
+
+def measure_window_depths(
+    loader_factory,
+    depths: tuple[int, ...] = (0, 2, 4, 8, 16),
+    *,
+    iterations: int = 30,
+    warmup: int = 10,
+) -> dict[int, float]:
+    """Probe candidate depths empirically; returns depth -> agg seconds.
+
+    Args:
+        loader_factory: callable ``depth -> loader`` building a fresh
+            loader with that window depth (fresh caches per probe).
+        depths: candidate depths.
+        iterations: measured iterations per probe.
+        warmup: warmup iterations per probe.
+    """
+    if iterations <= 0:
+        raise ConfigError("iterations must be positive")
+    results: dict[int, float] = {}
+    for depth in depths:
+        if depth < 0:
+            raise ConfigError("depths must be non-negative")
+        loader = loader_factory(depth)
+        report = loader.run(iterations, warmup=warmup)
+        results[depth] = report.aggregation_time
+    return results
+
+
+def best_window_depth(measurements: dict[int, float]) -> int:
+    """Depth with the lowest measured aggregation time."""
+    if not measurements:
+        raise ConfigError("measurements must not be empty")
+    return min(measurements, key=measurements.__getitem__)

@@ -1,0 +1,34 @@
+"""The BaM dataloader baseline: direct storage access without GIDS.
+
+The paper's "BaM dataloader" integrates the BaM system into the DGL
+dataloader (Section 4.1): GPU threads fetch feature pages directly from
+storage through the BaM software cache with random eviction, but none of
+GIDS's techniques are active — no dynamic storage access accumulator, no
+constant CPU buffer, no window buffering.  Expressed here as a
+:class:`~repro.core.gids.GIDSDataLoader` with those features disabled, so
+the two loaders share every other code path and their comparison (Figs. 9,
+13-15) isolates exactly the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import LoaderConfig
+from .gids import GIDSDataLoader
+
+
+class BaMDataLoader(GIDSDataLoader):
+    """Plain-BaM dataloader (GPU cache only, per-iteration storage batches)."""
+
+    name = "BaM"
+
+    def __init__(self, dataset, system, config=None, **kwargs) -> None:
+        base = config if config is not None else LoaderConfig()
+        bam_config = replace(
+            base,
+            accumulator_enabled=False,
+            cpu_buffer_fraction=0.0,
+            window_depth=0,
+        )
+        super().__init__(dataset, system, bam_config, **kwargs)

@@ -1,0 +1,59 @@
+"""The paper's analytic storage-bandwidth model (Section 3.2, Eqs. 2-3).
+
+A feature-aggregation kernel has three phases: initial (kernel start until
+the first SSD completion), steady state (peak IOPS), and termination.  For a
+kernel that issues ``N_access`` overlapping requests:
+
+.. math::
+
+    N_{access} = IOP_{achieved} \\cdot (T_i + T_s + T_t) \\cdot N_{ssd}
+    \\qquad (2)
+
+    T_s = \\frac{N_{access}}{IOP_{peak}}  \\qquad (3)
+
+where :math:`IOP_{achieved}` and :math:`IOP_{peak}` are per-SSD rates.  The
+functions below solve these equations in both directions; the GIDS dynamic
+storage access accumulator uses the inverse form to size its merging
+threshold.  :class:`repro.sim.ssd.SSDArray` exposes the same model on its
+device objects; this module is the paper-equation-level interface.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..sim.ssd import SSDArray
+
+
+def expected_iops(array: SSDArray, n_access: int) -> float:
+    """Per-SSD IOPS predicted by Eq. 2-3 for ``n_access`` overlapping reads.
+
+    Args:
+        array: the SSD array (device spec + phase overheads).
+        n_access: total overlapping storage accesses maintained across the
+            whole array.
+
+    Returns:
+        Predicted average IOPS *per SSD* over the kernel's lifetime.
+    """
+    if n_access < 0:
+        raise ConfigError("n_access must be non-negative")
+    if n_access == 0:
+        return 0.0
+    return array.achieved_iops(n_access) / array.num_ssds
+
+
+def expected_bandwidth(array: SSDArray, n_access: int) -> float:
+    """Collective bytes/s predicted by Eq. 2-3 for ``n_access`` reads."""
+    return expected_iops(array, n_access) * array.num_ssds * array.spec.page_bytes
+
+
+def required_overlapping_accesses(
+    array: SSDArray, target_fraction: float = 0.95
+) -> int:
+    """Overlapping accesses needed to achieve ``target_fraction`` of peak.
+
+    This is the accumulator's threshold before redirect compensation.  The
+    requirement grows linearly with device latency and with the number of
+    SSDs (Section 3.2).
+    """
+    return array.required_overlapping(target_fraction)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the GIDS reproduction library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A hardware or loader configuration is inconsistent or out of range."""
+
+
+class GraphError(ReproError):
+    """A graph structure is malformed (bad indptr, out-of-range indices...)."""
+
+
+class DatasetError(ReproError):
+    """An unknown dataset name or an invalid scaling request."""
+
+
+class CapacityError(ReproError):
+    """A memory budget (GPU cache, CPU buffer, page cache) is violated."""
+
+
+class SamplingError(ReproError):
+    """Invalid sampling parameters (empty fanout, bad seed set...)."""
+
+
+class PipelineError(ReproError):
+    """The training pipeline was driven in an invalid order or state."""
+
+
+class StorageError(ReproError):
+    """A feature-store access referenced nodes outside the stored table."""

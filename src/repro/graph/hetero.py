@@ -1,0 +1,112 @@
+"""Heterogeneous graph support (IGBH-Full, MAG240M in the paper).
+
+A :class:`HeteroGraph` stores typed nodes in a single contiguous id space —
+the layout GNN dataloaders use in practice so that one feature table and one
+CSR structure serve all types.  Each node type owns a contiguous id range;
+edges may connect any pair of types.  Sampling and feature aggregation treat
+the graph exactly like a homogeneous one (GIDS does too: the dataloader is
+type-agnostic), while type metadata is preserved for model-side use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class HeteroGraph:
+    """A typed wrapper around a single CSR structure.
+
+    Attributes:
+        csr: unified adjacency over the concatenated node id space.
+        type_names: node type names, e.g. ``("paper", "author", "institute")``.
+        type_offsets: ``int64[len(type_names) + 1]`` — node type ``t`` owns ids
+            ``[type_offsets[t], type_offsets[t + 1])``.
+    """
+
+    csr: CSRGraph
+    type_names: tuple[str, ...]
+    type_offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        offsets = np.ascontiguousarray(self.type_offsets, dtype=np.int64)
+        object.__setattr__(self, "type_offsets", offsets)
+        object.__setattr__(self, "type_names", tuple(self.type_names))
+        if len(self.type_names) == 0:
+            raise GraphError("a heterogeneous graph needs at least one type")
+        if len(offsets) != len(self.type_names) + 1:
+            raise GraphError(
+                "type_offsets must have len(type_names) + 1 entries"
+            )
+        if offsets[0] != 0 or offsets[-1] != self.csr.num_nodes:
+            raise GraphError(
+                "type_offsets must start at 0 and end at num_nodes"
+            )
+        if np.any(np.diff(offsets) < 0):
+            raise GraphError("type_offsets must be non-decreasing")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.csr.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.csr.num_edges
+
+    @property
+    def num_types(self) -> int:
+        return len(self.type_names)
+
+    def nodes_of_type(self, type_name: str) -> np.ndarray:
+        """All node ids belonging to ``type_name``."""
+        t = self._type_index(type_name)
+        return np.arange(
+            self.type_offsets[t], self.type_offsets[t + 1], dtype=np.int64
+        )
+
+    def type_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Type index of each node id in ``nodes``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) > 0 and (
+            nodes.min() < 0 or nodes.max() >= self.num_nodes
+        ):
+            raise GraphError("node ids out of range for this graph")
+        return np.searchsorted(self.type_offsets, nodes, side="right") - 1
+
+    def type_count(self, type_name: str) -> int:
+        """Number of nodes of ``type_name``."""
+        t = self._type_index(type_name)
+        return int(self.type_offsets[t + 1] - self.type_offsets[t])
+
+    def _type_index(self, type_name: str) -> int:
+        try:
+            return self.type_names.index(type_name)
+        except ValueError:
+            raise GraphError(
+                f"unknown node type {type_name!r}; known: {self.type_names}"
+            ) from None
+
+
+def stack_types(
+    type_graphs: dict[str, int],
+    csr: CSRGraph,
+) -> HeteroGraph:
+    """Assemble a :class:`HeteroGraph` from per-type node counts.
+
+    Args:
+        type_graphs: mapping ``type name -> node count``; the order of
+            insertion defines id ranges.
+        csr: adjacency over the concatenated id space (must match the total).
+    """
+    names = tuple(type_graphs)
+    counts = np.array([type_graphs[n] for n in names], dtype=np.int64)
+    if np.any(counts < 0):
+        raise GraphError("type node counts must be non-negative")
+    offsets = np.zeros(len(names) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return HeteroGraph(csr=csr, type_names=names, type_offsets=offsets)

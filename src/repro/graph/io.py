@@ -1,0 +1,98 @@
+"""Save and load scaled dataset replicas (.npz).
+
+Generating a large replica (graph + PageRank ranking) takes tens of
+seconds; persisting it lets benchmark sessions and notebooks share one
+artifact.  The format is a single compressed ``.npz`` holding the CSR
+arrays, train ids, type metadata and the generation parameters needed to
+reconstruct the :class:`~repro.graph.datasets.ScaledDataset` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DatasetError
+from .csr import CSRGraph
+from .datasets import ScaledDataset, get_dataset_spec
+from .hetero import HeteroGraph
+
+#: Bump when the on-disk layout changes.
+FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: ScaledDataset, path: str | Path) -> Path:
+    """Write a scaled dataset to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "spec_name": dataset.spec.name,
+        "scale": dataset.scale,
+        "feature_dim": dataset.feature_dim,
+        "heterogeneous": dataset.hetero is not None,
+        "type_names": (
+            list(dataset.hetero.type_names) if dataset.hetero else []
+        ),
+    }
+    arrays = {
+        "indptr": dataset.graph.indptr,
+        "indices": dataset.graph.indices,
+        "train_ids": dataset.train_ids,
+        "meta_json": np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    if dataset.hetero is not None:
+        arrays["type_offsets"] = dataset.hetero.type_offsets
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_dataset(path: str | Path) -> ScaledDataset:
+    """Read a scaled dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no dataset file at {path}")
+    with np.load(path) as archive:
+        try:
+            meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+            indptr = archive["indptr"]
+            indices = archive["indices"]
+            train_ids = archive["train_ids"]
+            type_offsets = (
+                archive["type_offsets"]
+                if "type_offsets" in archive.files
+                else None
+            )
+        except KeyError as exc:
+            raise DatasetError(
+                f"{path} is not a saved dataset (missing {exc})"
+            ) from exc
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise DatasetError(
+            f"{path} uses format version {meta.get('format_version')}, "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    spec = get_dataset_spec(meta["spec_name"])
+    graph = CSRGraph(indptr=indptr, indices=indices)
+    hetero = None
+    if meta["heterogeneous"]:
+        if type_offsets is None:
+            raise DatasetError(f"{path} is heterogeneous but lacks offsets")
+        hetero = HeteroGraph(
+            csr=graph,
+            type_names=tuple(meta["type_names"]),
+            type_offsets=type_offsets,
+        )
+    return ScaledDataset(
+        spec=spec,
+        scale=float(meta["scale"]),
+        graph=graph,
+        hetero=hetero,
+        train_ids=np.asarray(train_ids, dtype=np.int64),
+        feature_dim=int(meta["feature_dim"]),
+    )

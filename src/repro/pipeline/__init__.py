@@ -1,0 +1,23 @@
+"""End-to-end GNN training pipeline: runner and reporting."""
+
+from .metrics import IterationMetrics, RunReport, StageTimes
+from .runner import TrainingPipeline
+from .export import (
+    iterations_to_csv,
+    report_to_dict,
+    report_to_json,
+    reports_to_comparison_csv,
+)
+from .timeline import render_timeline
+
+__all__ = [
+    "render_timeline",
+    "IterationMetrics",
+    "RunReport",
+    "StageTimes",
+    "TrainingPipeline",
+    "iterations_to_csv",
+    "report_to_dict",
+    "report_to_json",
+    "reports_to_comparison_csv",
+]

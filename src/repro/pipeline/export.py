@@ -1,0 +1,132 @@
+"""Serialize run reports to dictionaries, JSON and CSV.
+
+Benchmark pipelines usually post-process loader measurements elsewhere
+(plotting, regression tracking); these helpers flatten a
+:class:`~repro.pipeline.metrics.RunReport` into stable, versioned records.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from ..errors import PipelineError
+from .metrics import STAGES, RunReport
+
+#: Bump when the exported record layout changes.
+EXPORT_SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: RunReport) -> dict:
+    """Flatten a run report into a JSON-serializable summary dict."""
+    totals = report.stage_totals
+    counters = report.counters
+    return {
+        "schema_version": EXPORT_SCHEMA_VERSION,
+        "loader": report.loader_name,
+        "iterations": report.num_iterations,
+        "overlapped": report.overlapped,
+        "e2e_seconds": report.e2e_time,
+        "seconds_per_iteration": report.time_per_iteration(),
+        "stage_seconds": {
+            stage: getattr(totals, stage) for stage in STAGES
+        },
+        "counters": {
+            "storage_requests": counters.storage_requests,
+            "storage_bytes": counters.storage_bytes,
+            "cpu_buffer_requests": counters.cpu_buffer_requests,
+            "cpu_buffer_bytes": counters.cpu_buffer_bytes,
+            "gpu_cache_hits": counters.gpu_cache_hits,
+            "gpu_cache_bytes": counters.gpu_cache_bytes,
+            "page_faults": counters.page_faults,
+            "page_cache_hits": counters.page_cache_hits,
+        },
+        "gpu_cache_hit_ratio": report.gpu_cache_hit_ratio,
+        "redirect_fraction": counters.redirect_fraction,
+        "effective_aggregation_bandwidth": (
+            report.effective_aggregation_bandwidth
+        ),
+        "pcie_ingress_bandwidth": report.pcie_ingress_bandwidth,
+        "total_input_nodes": report.total_input_nodes,
+    }
+
+
+def report_to_json(report: RunReport, *, indent: int = 2) -> str:
+    """JSON rendering of :func:`report_to_dict`."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+#: Column order of the per-iteration CSV export.
+_CSV_COLUMNS = (
+    "iteration",
+    "sampling_s",
+    "aggregation_s",
+    "transfer_s",
+    "training_s",
+    "num_seeds",
+    "num_input_nodes",
+    "num_sampled",
+    "num_edges",
+    "storage_requests",
+    "cpu_buffer_requests",
+    "gpu_cache_hits",
+    "page_faults",
+)
+
+
+def iterations_to_csv(report: RunReport) -> str:
+    """Per-iteration CSV (one row per measured training iteration)."""
+    if not report.iterations:
+        raise PipelineError("run report holds no iterations")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_CSV_COLUMNS)
+    for index, it in enumerate(report.iterations):
+        writer.writerow(
+            [
+                index,
+                f"{it.times.sampling:.9f}",
+                f"{it.times.aggregation:.9f}",
+                f"{it.times.transfer:.9f}",
+                f"{it.times.training:.9f}",
+                it.num_seeds,
+                it.num_input_nodes,
+                it.num_sampled,
+                it.num_edges,
+                it.counters.storage_requests,
+                it.counters.cpu_buffer_requests,
+                it.counters.gpu_cache_hits,
+                it.counters.page_faults,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def reports_to_comparison_csv(reports: list[RunReport]) -> str:
+    """One summary row per loader, for side-by-side comparisons."""
+    if not reports:
+        raise PipelineError("at least one report is required")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    columns = [
+        "loader", "iterations", "e2e_seconds", "seconds_per_iteration",
+        "gpu_cache_hit_ratio", "redirect_fraction",
+        "effective_aggregation_bandwidth", "storage_requests",
+    ]
+    writer.writerow(columns)
+    for report in reports:
+        summary = report_to_dict(report)
+        writer.writerow(
+            [
+                summary["loader"],
+                summary["iterations"],
+                f"{summary['e2e_seconds']:.9f}",
+                f"{summary['seconds_per_iteration']:.9f}",
+                f"{summary['gpu_cache_hit_ratio']:.6f}",
+                f"{summary['redirect_fraction']:.6f}",
+                f"{summary['effective_aggregation_bandwidth']:.3f}",
+                summary["counters"]["storage_requests"],
+            ]
+        )
+    return buffer.getvalue()

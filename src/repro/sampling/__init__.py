@@ -1,0 +1,23 @@
+"""Graph sampling: mini-batch seeds, GraphSAGE neighborhood sampling, LADIES.
+
+Sampling is fully functional — it traverses real CSR structures and produces
+real node-id streams; those streams drive every cache and storage model in
+the simulation substrate.
+"""
+
+from .minibatch import MiniBatch, SampledLayer
+from .neighbor import NeighborSampler
+from .hetero_neighbor import HeteroNeighborSampler
+from .ladies import LadiesSampler
+from .cluster import ClusterSampler
+from .seeds import epoch_seed_batches
+
+__all__ = [
+    "MiniBatch",
+    "SampledLayer",
+    "NeighborSampler",
+    "HeteroNeighborSampler",
+    "LadiesSampler",
+    "ClusterSampler",
+    "epoch_seed_batches",
+]

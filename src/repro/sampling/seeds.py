@@ -1,0 +1,43 @@
+"""Epoch iteration over shuffled seed-node batches."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..utils import as_rng
+
+
+def epoch_seed_batches(
+    train_ids: np.ndarray,
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    drop_last: bool = False,
+    seed: int | np.random.Generator | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield mini-batch seed arrays covering ``train_ids`` once.
+
+    Args:
+        train_ids: labeled node ids.
+        batch_size: seeds per mini-batch.
+        shuffle: shuffle the ids before batching (standard for training).
+        drop_last: drop a trailing partial batch.
+        seed: RNG seed or generator for the shuffle.
+    """
+    train_ids = np.asarray(train_ids, dtype=np.int64)
+    if batch_size <= 0:
+        raise SamplingError(f"batch size must be positive, got {batch_size}")
+    if len(train_ids) == 0:
+        raise SamplingError("train_ids must not be empty")
+    order = train_ids
+    if shuffle:
+        rng = as_rng(seed)
+        order = train_ids[rng.permutation(len(train_ids))]
+    for start in range(0, len(order), batch_size):
+        batch = order[start : start + batch_size]
+        if drop_last and len(batch) < batch_size:
+            return
+        yield batch

@@ -1,0 +1,80 @@
+"""Byte and request accounting shared by all dataloaders.
+
+Every loader reports where each requested feature vector was served from —
+storage, the constant CPU buffer, or the GPU software cache — so benchmarks
+can compute effective bandwidths and redirect fractions exactly as the paper
+does (Figs. 9-12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TransferCounters:
+    """Mutable accumulator of data-movement statistics."""
+
+    storage_requests: int = 0
+    storage_bytes: int = 0
+    cpu_buffer_requests: int = 0
+    cpu_buffer_bytes: int = 0
+    gpu_cache_hits: int = 0
+    gpu_cache_bytes: int = 0
+    page_faults: int = 0
+    page_cache_hits: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        return (
+            self.storage_requests
+            + self.cpu_buffer_requests
+            + self.gpu_cache_hits
+        )
+
+    @property
+    def ingress_bytes(self) -> int:
+        """Bytes that crossed the GPU's PCIe ingress link."""
+        return self.storage_bytes + self.cpu_buffer_bytes
+
+    @property
+    def total_feature_bytes(self) -> int:
+        """Bytes of feature data served from any tier."""
+        return self.ingress_bytes + self.gpu_cache_bytes
+
+    @property
+    def gpu_cache_hit_ratio(self) -> float:
+        total = self.total_requests
+        return self.gpu_cache_hits / total if total else 0.0
+
+    @property
+    def redirect_fraction(self) -> float:
+        """Fraction of requests served without touching storage."""
+        total = self.total_requests
+        if not total:
+            return 0.0
+        return (total - self.storage_requests) / total
+
+    def merge(self, other: "TransferCounters") -> None:
+        """Add ``other``'s counts into this accumulator."""
+        self.storage_requests += other.storage_requests
+        self.storage_bytes += other.storage_bytes
+        self.cpu_buffer_requests += other.cpu_buffer_requests
+        self.cpu_buffer_bytes += other.cpu_buffer_bytes
+        self.gpu_cache_hits += other.gpu_cache_hits
+        self.gpu_cache_bytes += other.gpu_cache_bytes
+        self.page_faults += other.page_faults
+        self.page_cache_hits += other.page_cache_hits
+
+    def snapshot(self) -> "TransferCounters":
+        """Return an independent copy of the current counts."""
+        return TransferCounters(
+            storage_requests=self.storage_requests,
+            storage_bytes=self.storage_bytes,
+            cpu_buffer_requests=self.cpu_buffer_requests,
+            cpu_buffer_bytes=self.cpu_buffer_bytes,
+            gpu_cache_hits=self.gpu_cache_hits,
+            gpu_cache_bytes=self.gpu_cache_bytes,
+            page_faults=self.page_faults,
+            page_cache_hits=self.page_cache_hits,
+        )

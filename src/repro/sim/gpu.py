@@ -1,0 +1,55 @@
+"""GPU-side execution model.
+
+Calibrated to Figure 3 of the paper: GPU sampling + aggregation kernels
+generate 77M feature requests/s, and the training kernels consume aggregated
+features at 29M requests/s.  Kernel launches carry a fixed software overhead
+(25 us, Section 4.2) which matters for small graphs — the reason GPU sampling
+wins by a larger margin on larger graphs (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GPUSpec
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Rate-based GPU execution model."""
+
+    spec: GPUSpec = GPUSpec()
+
+    def sampling_time(self, n_sampled: int, n_kernels: int = 1) -> float:
+        """Time for GPU neighborhood sampling producing ``n_sampled`` nodes.
+
+        Args:
+            n_sampled: total sampled node count across all layers.
+            n_kernels: kernel launches (one per sampling layer in DGL's
+                GPU sampling path), each paying the launch overhead.
+        """
+        if n_sampled < 0:
+            raise ConfigError("n_sampled must be non-negative")
+        if n_kernels < 0:
+            raise ConfigError("n_kernels must be non-negative")
+        launch = n_kernels * self.spec.kernel_launch_overhead_s
+        return launch + n_sampled / self.spec.request_generation_rate
+
+    def request_generation_time(self, n_requests: int) -> float:
+        """Time to *generate* ``n_requests`` feature requests (Fig. 3 rate)."""
+        if n_requests < 0:
+            raise ConfigError("n_requests must be non-negative")
+        return n_requests / self.spec.request_generation_rate
+
+    def training_time(self, n_features: int) -> float:
+        """Time for the training kernels to consume ``n_features`` vectors."""
+        if n_features < 0:
+            raise ConfigError("n_features must be non-negative")
+        return n_features / self.spec.training_consumption_rate
+
+    def hbm_read_time(self, n_bytes: float) -> float:
+        """Time to read ``n_bytes`` from HBM (GPU cache hits)."""
+        if n_bytes < 0:
+            raise ConfigError("byte count must be non-negative")
+        return n_bytes / self.spec.hbm_bandwidth

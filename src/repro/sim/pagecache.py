@@ -1,0 +1,87 @@
+"""Functional OS page cache (LRU over fixed-size pages).
+
+The DGL mmap baseline reads node features through the operating system's
+page cache: a hit is a DRAM access, a miss is a page fault that stalls the
+faulting thread for the device latency plus handler overhead (Section 2.3).
+This class tracks *which* pages are resident — the access stream is real —
+while the time cost of the resulting hit/miss counts is assessed by
+:class:`repro.sim.cpu.CPUModel`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigError
+
+
+class PageCache:
+    """An LRU page cache with a fixed capacity in pages.
+
+    Page ids are arbitrary non-negative integers (node-to-page mapping is
+    the caller's concern; see :mod:`repro.storage.layout`).
+    """
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 0:
+            raise ConfigError(
+                f"capacity must be non-negative, got {capacity_pages}"
+            )
+        self.capacity_pages = capacity_pages
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def access(self, page_ids: np.ndarray) -> tuple[int, int]:
+        """Touch ``page_ids`` in order; fault in the misses.
+
+        Returns:
+            ``(hits, misses)`` for this access batch.
+        """
+        if self.capacity_pages == 0:
+            n = len(page_ids)
+            self.misses += n
+            return 0, n
+        hits = 0
+        misses = 0
+        pages = self._pages
+        for page_id in page_ids:
+            page_id = int(page_id)
+            if page_id in pages:
+                pages.move_to_end(page_id)
+                hits += 1
+            else:
+                misses += 1
+                if len(pages) >= self.capacity_pages:
+                    pages.popitem(last=False)
+                    self.evictions += 1
+                pages[page_id] = None
+        self.hits += hits
+        self.misses += misses
+        if len(pages) > self.capacity_pages:
+            raise CapacityError(
+                f"page cache holds {len(pages)} pages, capacity is "
+                f"{self.capacity_pages}"
+            )
+        return hits, misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Lifetime hit ratio (0.0 when nothing has been accessed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters without dropping contents."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

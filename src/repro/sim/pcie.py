@@ -1,0 +1,75 @@
+"""PCIe ingress link model.
+
+All bytes entering the GPU — pages read from the SSDs and feature vectors
+copied from the constant CPU buffer or from pinned (UVA) CPU memory — share
+the GPU's single PCIe ingress link.  The constant CPU buffer exists to use
+the headroom between a small SSD array's bandwidth and the 32 GB/s link
+(Section 3.3); this class enforces that ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PCIeSpec
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """Shared-bandwidth model of the GPU ingress link.
+
+    Args:
+        spec: the link specification.
+        cpu_path_efficiency: fraction of link bandwidth reachable on the
+            DRAM->GPU zero-copy path.  Below 1.0 because GPU threads that
+            copy feature vectors out of the CPU buffer stop enqueueing
+            storage requests while doing so (Section 4.3 observes this
+            effect keeps GIDS slightly under peak).
+    """
+
+    spec: PCIeSpec = PCIeSpec()
+    cpu_path_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_path_efficiency <= 1.0:
+            raise ConfigError("cpu_path_efficiency must be in (0, 1]")
+
+    @property
+    def bandwidth(self) -> float:
+        return self.spec.bandwidth_bytes
+
+    @property
+    def cpu_path_bandwidth(self) -> float:
+        """Achievable DRAM->GPU bandwidth over this link, bytes/s."""
+        return self.spec.bandwidth_bytes * self.cpu_path_efficiency
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` over the link at full bandwidth."""
+        if n_bytes < 0:
+            raise ConfigError(f"byte count must be non-negative, got {n_bytes}")
+        return n_bytes / self.bandwidth
+
+    def ingress_time(
+        self,
+        storage_bytes: float,
+        storage_time: float,
+        cpu_bytes: float,
+    ) -> float:
+        """Combined ingress time for one aggregation phase.
+
+        Storage reads and CPU-buffer copies proceed concurrently; the phase
+        ends when both streams have landed, and the total volume can never
+        move faster than the link allows:
+
+        * the storage stream takes ``storage_time`` (from the SSD model),
+        * the CPU stream takes ``cpu_bytes / cpu_path_bandwidth``,
+        * the link caps everything at ``total_bytes / bandwidth``.
+        """
+        if storage_time < 0:
+            raise ConfigError("storage_time must be non-negative")
+        if storage_bytes < 0 or cpu_bytes < 0:
+            raise ConfigError("byte counts must be non-negative")
+        cpu_time = cpu_bytes / self.cpu_path_bandwidth
+        link_floor = (storage_bytes + cpu_bytes) / self.bandwidth
+        return max(storage_time, cpu_time, link_floor)

@@ -1,0 +1,14 @@
+"""Feature storage substrate.
+
+The feature table of a large graph lives on (simulated) NVMe storage as an
+``N x D`` matrix laid out in fixed-size pages (Section 2.1: features are
+512 B - 4 KB per node; storage serves 4 KB pages).  :class:`PageLayout` maps
+node ids to page ids; :class:`FeatureStore` additionally produces feature
+*values* (deterministic synthetic vectors or user-provided data) for the
+functional training path.
+"""
+
+from .layout import PageLayout
+from .feature_store import FeatureStore
+
+__all__ = ["PageLayout", "FeatureStore"]

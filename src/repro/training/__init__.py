@@ -1,0 +1,28 @@
+"""Functional GNN training on sampled mini-batches.
+
+:class:`GraphSAGE` is a real NumPy implementation (forward and backward)
+of the model the paper trains; it consumes the :class:`MiniBatch` blocks
+produced by the samplers and the feature matrices served by the loaders, so
+examples can demonstrate true end-to-end training with decreasing loss.
+Training-stage *time* in the benchmarks comes from the calibrated
+consumption-rate model in :class:`repro.sim.gpu.GPUModel`, not from wall
+clock.
+"""
+
+from .graphsage import AGGREGATORS, GraphSAGE, synthetic_labels
+from .evaluate import (
+    EvalResult,
+    evaluate_accuracy,
+    synthetic_task_accuracy,
+    train_validation_split,
+)
+
+__all__ = [
+    "AGGREGATORS",
+    "GraphSAGE",
+    "synthetic_labels",
+    "EvalResult",
+    "evaluate_accuracy",
+    "synthetic_task_accuracy",
+    "train_validation_split",
+]

@@ -1,0 +1,108 @@
+"""Model evaluation over held-out nodes through any dataloader's sampler.
+
+Accuracy at evaluation time is computed with the same sampled-subgraph
+inference the training path uses (standard practice for sampling-based
+GNN systems: full-graph inference on a 100M+-node graph is itself a
+storage-bound batch job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..sampling.seeds import epoch_seed_batches
+from ..storage.feature_store import FeatureStore
+from .graphsage import GraphSAGE, synthetic_labels
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Accuracy over an evaluation node set."""
+
+    correct: int
+    total: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+def evaluate_accuracy(
+    model: GraphSAGE,
+    sampler,
+    store: FeatureStore,
+    node_ids: np.ndarray,
+    labels: np.ndarray,
+    *,
+    batch_size: int = 512,
+) -> EvalResult:
+    """Sampled-inference accuracy of ``model`` on ``node_ids``.
+
+    Args:
+        model: a trained classifier.
+        sampler: any sampler exposing ``sample(seeds) -> MiniBatch`` with a
+            layer count matching the model.
+        store: the feature table.
+        node_ids: evaluation nodes.
+        labels: ground-truth label per evaluation node (aligned).
+        batch_size: evaluation batch size.
+    """
+    node_ids = np.asarray(node_ids, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if node_ids.shape != labels.shape:
+        raise PipelineError("node_ids and labels must align")
+    if len(node_ids) == 0:
+        raise PipelineError("evaluation node set must not be empty")
+
+    label_of = dict(zip(node_ids.tolist(), labels.tolist()))
+    correct = 0
+    for seeds in epoch_seed_batches(node_ids, batch_size, shuffle=False):
+        batch = sampler.sample(seeds)
+        features = store.fetch(batch.input_nodes)
+        predictions = model.predict(batch, features)
+        truth = np.array(
+            [label_of[int(s)] for s in batch.seeds], dtype=np.int64
+        )
+        correct += int(np.count_nonzero(predictions == truth))
+    return EvalResult(correct=correct, total=len(node_ids))
+
+
+def train_validation_split(
+    node_ids: np.ndarray,
+    *,
+    validation_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffle-split labeled nodes into train and validation sets."""
+    if not 0.0 < validation_fraction < 1.0:
+        raise PipelineError("validation fraction must be in (0, 1)")
+    node_ids = np.asarray(node_ids, dtype=np.int64)
+    if len(node_ids) < 2:
+        raise PipelineError("need at least two labeled nodes to split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(node_ids))
+    n_val = max(1, int(round(len(node_ids) * validation_fraction)))
+    n_val = min(n_val, len(node_ids) - 1)
+    val = np.sort(node_ids[order[:n_val]])
+    train = np.sort(node_ids[order[n_val:]])
+    return train, val
+
+
+def synthetic_task_accuracy(
+    model: GraphSAGE,
+    sampler,
+    store: FeatureStore,
+    node_ids: np.ndarray,
+    num_classes: int,
+    *,
+    label_seed: int = 0,
+    batch_size: int = 512,
+) -> EvalResult:
+    """Accuracy on the synthetic feature-projection labeling task."""
+    labels = synthetic_labels(store, node_ids, num_classes, seed=label_seed)
+    return evaluate_accuracy(
+        model, sampler, store, node_ids, labels, batch_size=batch_size
+    )

@@ -1,0 +1,65 @@
+"""Small shared helpers: RNG normalization and human-readable formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Factors used by :func:`format_bytes` / :func:`parse_size`.
+_UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a NumPy ``Generator`` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so that callers can share RNG state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary-ish 1000-based unit, e.g. ``1.5 GB``."""
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    value = float(n)
+    for unit in _UNITS:
+        if value < 1000.0 or unit == _UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an adaptive unit (ns/us/ms/s)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def format_rate(per_second: float) -> str:
+    """Render an operation rate, e.g. ``1.5M/s``."""
+    if per_second < 0:
+        raise ValueError(f"rate must be non-negative, got {per_second}")
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if per_second >= factor:
+            return f"{per_second / factor:.2f}{suffix}/s"
+    return f"{per_second:.2f}/s"
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)

@@ -1,0 +1,65 @@
+"""Unit tests for the fast paths of the experiments module."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    fig03_request_rates,
+    table01_config,
+    table02_datasets,
+    table03_igb_microbench,
+)
+
+
+class TestExperimentResult:
+    def test_render_includes_title_and_notes(self):
+        result = ExperimentResult(
+            experiment="Demo",
+            headers=["a", "b"],
+            rows=[[1, 2]],
+            notes="the shape to expect",
+        )
+        text = result.render()
+        assert text.startswith("Demo")
+        assert "paper: the shape to expect" in text
+
+    def test_render_without_notes(self):
+        result = ExperimentResult(
+            experiment="Demo", headers=["a"], rows=[["x"]]
+        )
+        assert "paper:" not in result.render()
+
+
+class TestFigure3:
+    def test_rates_and_ordering(self):
+        result = fig03_request_rates(thread_counts=(1, 16))
+        extras = result.extras
+        assert extras["cpu_plateau"] == pytest.approx(4.1e6)
+        assert extras["gpu_generation"] == pytest.approx(77e6)
+        assert extras["gpu_consumption"] == pytest.approx(29e6)
+        # One row per CPU thread count plus the two GPU rows.
+        assert len(result.rows) == 4
+
+    def test_uses_igb_small_workload(self):
+        result = fig03_request_rates(thread_counts=(16,))
+        assert result.extras["workload"] == "IGB-small"
+
+
+class TestTables:
+    def test_table01_lists_both_ssds(self):
+        result = table01_config()
+        text = result.render()
+        assert "Intel Optane" in text
+        assert "Samsung 980 Pro" in text
+        assert "A100" in text
+
+    def test_table02_counts_match_registry(self):
+        result = table02_datasets()
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["IGB-Full"][2] == "269,364,174"
+        assert by_name["MAG240M"][1] == "heterogeneous"
+
+    def test_table03_four_igb_sizes(self):
+        result = table03_igb_microbench()
+        names = [row[0] for row in result.rows]
+        assert names == ["IGB-tiny", "IGB-small", "IGB-medium", "IGB-large"]

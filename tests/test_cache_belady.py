@@ -1,0 +1,91 @@
+"""Unit tests for the Belady (optimal) cache used by the Ginex baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cache.belady import BeladyCache
+from repro.errors import ConfigError
+
+
+def lru_miss_count(accesses, capacity):
+    """Reference LRU miss count for optimality comparison."""
+    from collections import OrderedDict
+
+    cache: "OrderedDict[int, None]" = OrderedDict()
+    misses = 0
+    for page in accesses:
+        page = int(page)
+        if page in cache:
+            cache.move_to_end(page)
+        else:
+            misses += 1
+            if len(cache) >= capacity:
+                cache.popitem(last=False)
+            cache[page] = None
+    return misses
+
+
+class TestBeladyCache:
+    def test_cold_misses(self):
+        cache = BeladyCache(4)
+        hits, misses = cache.process_superbatch(np.array([1, 2, 3]))
+        assert (hits, misses) == (0, 3)
+
+    def test_repeat_hits(self):
+        cache = BeladyCache(4)
+        hits, misses = cache.process_superbatch(np.array([1, 2, 1, 2]))
+        assert (hits, misses) == (2, 2)
+
+    def test_classic_belady_example(self):
+        """Reference sequence where Belady beats LRU."""
+        seq = np.array([1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5])
+        cache = BeladyCache(3)
+        _, misses = cache.process_superbatch(seq)
+        # Known OPT result for this trace with 3 frames: 7 misses.
+        assert misses == 7
+        assert misses <= lru_miss_count(seq, 3)
+
+    def test_never_worse_than_lru(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            seq = rng.integers(0, 30, size=200)
+            belady = BeladyCache(8)
+            _, misses = belady.process_superbatch(seq)
+            assert misses <= lru_miss_count(seq, 8)
+
+    def test_capacity_respected(self):
+        cache = BeladyCache(3)
+        cache.process_superbatch(np.arange(20))
+        assert len(cache) <= 3
+
+    def test_state_persists_across_superbatches(self):
+        cache = BeladyCache(4)
+        cache.process_superbatch(np.array([1, 2]))
+        hits, misses = cache.process_superbatch(np.array([1, 2]))
+        assert (hits, misses) == (2, 0)
+
+    def test_eviction_prefers_never_used_again(self):
+        cache = BeladyCache(2)
+        # 1 is reused later, 2 never again -> 2 must be the victim.
+        cache.process_superbatch(np.array([1, 2, 3, 1]))
+        assert 1 in cache
+
+    def test_zero_capacity(self):
+        cache = BeladyCache(0)
+        hits, misses = cache.process_superbatch(np.array([1, 1]))
+        assert (hits, misses) == (0, 2)
+
+    def test_empty_superbatch(self):
+        cache = BeladyCache(2)
+        assert cache.process_superbatch(np.array([], dtype=np.int64)) == (0, 0)
+
+    def test_stats_accumulate(self):
+        cache = BeladyCache(4)
+        cache.process_superbatch(np.array([1, 1]))
+        cache.process_superbatch(np.array([2, 2]))
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            BeladyCache(-1)

@@ -1,0 +1,67 @@
+"""Unit tests for the constant CPU buffer."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cpu_buffer import ConstantCPUBuffer
+from repro.errors import ConfigError
+
+
+class TestConstantCPUBuffer:
+    def test_prefix_that_fits_is_resident(self):
+        buf = ConstantCPUBuffer(
+            num_nodes=10,
+            feature_bytes=100,
+            capacity_bytes=250,
+            hot_nodes=np.array([5, 3, 1, 0]),
+        )
+        assert buf.num_resident == 2
+        assert list(buf.resident_ids) == [5, 3]
+
+    def test_contains_mask(self):
+        buf = ConstantCPUBuffer(10, 100, 250, np.array([5, 3, 1]))
+        mask = buf.contains(np.array([5, 3, 1, 0]))
+        assert list(mask) == [True, True, False, False]
+
+    def test_zero_capacity(self):
+        buf = ConstantCPUBuffer(10, 100, 0, np.array([1, 2]))
+        assert buf.num_resident == 0
+        assert not buf.contains(np.array([1, 2])).any()
+
+    def test_used_bytes_within_capacity(self):
+        buf = ConstantCPUBuffer(10, 100, 199, np.array([1, 2, 3]))
+        assert buf.used_bytes == 100
+        assert buf.used_bytes <= buf.capacity_bytes
+
+    def test_static_contents(self):
+        """Lookups never change residency (the buffer is constant)."""
+        buf = ConstantCPUBuffer(10, 100, 250, np.arange(10))
+        before = list(buf.resident_ids)
+        buf.contains(np.array([9, 9, 9]))
+        assert list(buf.resident_ids) == before
+
+    def test_duplicate_ranking_rejected(self):
+        with pytest.raises(ConfigError):
+            ConstantCPUBuffer(10, 100, 500, np.array([1, 1, 2]))
+
+    def test_out_of_range_ranking_rejected(self):
+        with pytest.raises(ConfigError):
+            ConstantCPUBuffer(10, 100, 500, np.array([10]))
+
+    def test_out_of_range_lookup_rejected(self):
+        buf = ConstantCPUBuffer(10, 100, 500, np.array([1]))
+        with pytest.raises(ConfigError):
+            buf.contains(np.array([11]))
+
+    def test_resident_ids_readonly(self):
+        buf = ConstantCPUBuffer(10, 100, 500, np.array([1, 2]))
+        with pytest.raises(ValueError):
+            buf.resident_ids[0] = 9
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            ConstantCPUBuffer(0, 100, 10, np.array([], dtype=np.int64))
+        with pytest.raises(ConfigError):
+            ConstantCPUBuffer(10, 0, 10, np.array([], dtype=np.int64))
+        with pytest.raises(ConfigError):
+            ConstantCPUBuffer(10, 100, -1, np.array([], dtype=np.int64))

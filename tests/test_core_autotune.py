@@ -1,0 +1,104 @@
+"""Unit tests for window-depth auto-tuning."""
+
+import pytest
+
+from repro.core.autotune import (
+    best_window_depth,
+    measure_window_depths,
+    recommend_window_depth,
+)
+from repro.errors import ConfigError
+
+
+class TestRecommendWindowDepth:
+    def test_cache_pinning_binds_for_small_cache(self):
+        rec = recommend_window_depth(
+            cache_lines=4000, batch_unique_pages=1000
+        )
+        assert rec.depth == 3
+        assert rec.binding_constraint == "cache_pinning"
+
+    def test_memory_budget_binds_for_huge_cache(self):
+        rec = recommend_window_depth(
+            cache_lines=10**9,
+            batch_unique_pages=1_000_000,
+            window_memory_budget_bytes=32e6,
+        )
+        assert rec.binding_constraint == "window_memory"
+        assert rec.depth == 4  # 32 MB / (1M ids x 8 B)
+
+    def test_max_depth_caps(self):
+        rec = recommend_window_depth(
+            cache_lines=10**9,
+            batch_unique_pages=100,
+            max_depth=8,
+        )
+        assert rec.depth == 8
+        assert rec.binding_constraint == "max_depth"
+
+    def test_paper_scale_lands_near_default(self):
+        """Full-scale GIDS: 8 GB cache (2M lines), ~500k pages/batch,
+        'several megabytes' of node ids per batch -> the paper's default
+        depth of 8 should be in the recommended ballpark."""
+        rec = recommend_window_depth(
+            cache_lines=2_000_000,
+            batch_unique_pages=500_000,
+            window_memory_budget_bytes=64e6,
+            pin_fraction_limit=1.0,
+        )
+        assert 2 <= rec.depth <= 16
+
+    def test_monotone_in_cache_size(self):
+        depths = [
+            recommend_window_depth(
+                cache_lines=lines, batch_unique_pages=1000
+            ).depth
+            for lines in (2000, 8000, 32000)
+        ]
+        assert depths == sorted(depths)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            recommend_window_depth(cache_lines=-1, batch_unique_pages=10)
+        with pytest.raises(ConfigError):
+            recommend_window_depth(cache_lines=10, batch_unique_pages=0)
+        with pytest.raises(ConfigError):
+            recommend_window_depth(
+                cache_lines=10, batch_unique_pages=10, pin_fraction_limit=0.0
+            )
+        with pytest.raises(ConfigError):
+            recommend_window_depth(
+                cache_lines=10, batch_unique_pages=10, max_depth=0
+            )
+
+
+class TestMeasureWindowDepths:
+    def test_probes_each_depth(
+        self, small_dataset, tight_system, small_loader_config
+    ):
+        from dataclasses import replace
+
+        from repro.core.gids import GIDSDataLoader
+
+        def factory(depth):
+            return GIDSDataLoader(
+                small_dataset,
+                tight_system,
+                replace(small_loader_config, window_depth=depth),
+                batch_size=32,
+                fanouts=(5, 5),
+                seed=0,
+            )
+
+        results = measure_window_depths(
+            factory, depths=(0, 4), iterations=10, warmup=4
+        )
+        assert set(results) == {0, 4}
+        assert all(t > 0 for t in results.values())
+        assert best_window_depth(results) in (0, 4)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            measure_window_depths(lambda d: None, iterations=0)
+        with pytest.raises(ConfigError):
+            best_window_depth({})

@@ -1,0 +1,134 @@
+"""Unit tests for the multi-GPU data-parallel extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import INTEL_OPTANE, LoaderConfig, SystemConfig
+from repro.core.multi_gpu import (
+    MultiGPUTrainer,
+    contended_ssd,
+    scaling_study,
+    shard_train_ids,
+)
+from repro.errors import ConfigError
+
+
+class TestShardTrainIds:
+    def test_disjoint_and_complete(self):
+        ids = np.arange(100)
+        shards = shard_train_ids(ids, 4, seed=0)
+        assert len(shards) == 4
+        merged = np.sort(np.concatenate(shards))
+        assert np.array_equal(merged, ids)
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert len(np.intersect1d(shards[a], shards[b])) == 0
+
+    def test_balanced(self):
+        shards = shard_train_ids(np.arange(103), 4, seed=0)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        a = shard_train_ids(np.arange(50), 3, seed=5)
+        b = shard_train_ids(np.arange(50), 3, seed=5)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_too_many_shards(self):
+        with pytest.raises(ConfigError):
+            shard_train_ids(np.arange(3), 4)
+
+
+class TestContendedSSD:
+    def test_fair_share(self):
+        shared = contended_ssd(INTEL_OPTANE, 4)
+        assert shared.peak_iops == pytest.approx(INTEL_OPTANE.peak_iops / 4)
+        assert shared.read_latency_s == INTEL_OPTANE.read_latency_s
+
+    def test_single_gpu_identity(self):
+        shared = contended_ssd(INTEL_OPTANE, 1)
+        assert shared.peak_iops == INTEL_OPTANE.peak_iops
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            contended_ssd(INTEL_OPTANE, 0)
+
+
+class TestMultiGPUTrainer:
+    @pytest.fixture
+    def setup(self, small_dataset):
+        system = SystemConfig(
+            ssd=INTEL_OPTANE,
+            cpu_memory_limit_bytes=small_dataset.total_bytes * 0.5,
+        )
+        config = LoaderConfig(
+            gpu_cache_bytes=small_dataset.feature_data_bytes * 0.02
+        )
+        return small_dataset, system, config
+
+    def test_run_shape(self, setup):
+        dataset, system, config = setup
+        trainer = MultiGPUTrainer(
+            dataset, system, config, num_gpus=2,
+            batch_size=16, fanouts=(4, 4),
+        )
+        result = trainer.run(5, warmup=2)
+        assert result.num_gpus == 2
+        assert len(result.per_gpu_reports) == 2
+        assert result.total_iterations == 10
+        assert result.epoch_time == max(
+            r.e2e_time for r in result.per_gpu_reports
+        )
+
+    def test_gpus_train_on_disjoint_shards(self, setup):
+        dataset, system, config = setup
+        trainer = MultiGPUTrainer(
+            dataset, system, config, num_gpus=2,
+            batch_size=16, fanouts=(4, 4),
+        )
+        a = trainer.loaders[0].dataset.train_ids
+        b = trainer.loaders[1].dataset.train_ids
+        assert len(np.intersect1d(a, b)) == 0
+
+    def test_storage_bound_scaling_is_sublinear(self, setup):
+        """With caches disabled every request hits the shared SSD, so two
+        GPUs gain less than 2x fleet throughput — the contention the
+        paper's Section 5 alludes to."""
+        dataset, system, _ = setup
+        bare = LoaderConfig(
+            gpu_cache_bytes=0.0,
+            cpu_buffer_fraction=0.0,
+            window_depth=0,
+            accumulator_enabled=False,
+        )
+        results = scaling_study(
+            dataset, system, bare,
+            gpu_counts=(1, 2), iterations_per_gpu=8,
+            batch_size=48, fanouts=(8, 8),
+        )
+        ratio = results[2].throughput / results[1].throughput
+        assert 1.0 <= ratio < 1.95
+
+    def test_cached_scaling_can_exceed_storage_bound(self, setup):
+        """With per-GPU caches, smaller shards recycle their working set
+        sooner, so data-parallel sharding can scale better than the raw
+        storage share suggests."""
+        dataset, system, config = setup
+        results = scaling_study(
+            dataset, system, config,
+            gpu_counts=(1, 2), iterations_per_gpu=8,
+            batch_size=24, fanouts=(5, 5),
+        )
+        assert results[2].throughput >= results[1].throughput * 0.95
+
+    def test_invalid_args(self, setup):
+        dataset, system, config = setup
+        with pytest.raises(ConfigError):
+            MultiGPUTrainer(dataset, system, config, num_gpus=0)
+        trainer = MultiGPUTrainer(
+            dataset, system, config, num_gpus=2, batch_size=16,
+            fanouts=(4,),
+        )
+        with pytest.raises(ConfigError):
+            trainer.run(0)

@@ -1,0 +1,100 @@
+"""Golden calibration values.
+
+These tests pin the *numerical outputs* of the calibrated device models so
+that an accidental change to a constant or a formula (a regression in the
+reproduction's physics) fails loudly.  Every golden value below was
+derived from the paper's published constants; tolerances are tight because
+the models are deterministic.
+"""
+
+import pytest
+
+from repro.config import INTEL_OPTANE, SAMSUNG_980PRO
+from repro.core.accumulator import DynamicAccessAccumulator
+from repro.sim.cpu import CPUModel
+from repro.sim.gpu import GPUModel
+from repro.sim.pcie import PCIeLink
+from repro.sim.ssd import SSDArray
+
+
+class TestSSDGoldens:
+    def test_optane_curve(self):
+        arr = SSDArray(INTEL_OPTANE)
+        # N / (36us + N/1.5M + 5us), in MIOPS.
+        assert arr.achieved_iops(128) / 1e6 == pytest.approx(1.013, abs=0.005)
+        assert arr.achieved_iops(1024) / 1e6 == pytest.approx(1.415, abs=0.005)
+        assert arr.achieved_iops(8192) / 1e6 == pytest.approx(1.489, abs=0.005)
+
+    def test_980pro_curve(self):
+        arr = SSDArray(SAMSUNG_980PRO)
+        assert arr.achieved_iops(1024) / 1e6 == pytest.approx(0.564, abs=0.005)
+        assert arr.achieved_iops(8192) / 1e6 == pytest.approx(0.679, abs=0.005)
+
+    def test_required_overlaps(self):
+        assert SSDArray(INTEL_OPTANE).required_overlapping(0.95) == 1169
+        assert SSDArray(SAMSUNG_980PRO).required_overlapping(0.95) == 4709
+
+    def test_peak_bandwidths(self):
+        assert SSDArray(INTEL_OPTANE).peak_bandwidth == pytest.approx(6.144e9)
+        assert SSDArray(SAMSUNG_980PRO).peak_bandwidth == pytest.approx(
+            2.8672e9
+        )
+
+    def test_two_ssd_threshold_doubles(self):
+        assert SSDArray(INTEL_OPTANE, 2).required_overlapping(0.95) == 2337
+
+
+class TestCPUGoldens:
+    def test_single_thread_mmap_fault_rates(self):
+        cpu = CPUModel(threads=16)
+        # 1000 faults, one faulting thread: (15us + latency) each.
+        assert cpu.fault_service_time(
+            1000, INTEL_OPTANE, threads=1
+        ) == pytest.approx(1000 * 26e-6)
+        assert cpu.fault_service_time(
+            1000, SAMSUNG_980PRO, threads=1
+        ) == pytest.approx(1000 * 339e-6)
+
+    def test_ginex_io_rates(self):
+        cpu = CPUModel(threads=4)
+        # Optane: submission bound 4/20us = 200K.
+        assert cpu.async_io_rate(
+            INTEL_OPTANE, queue_depth_per_thread=2
+        ) == pytest.approx(200e3)
+        # 980 Pro: in-flight bound 8/324us ~= 24.7K.
+        assert cpu.async_io_rate(
+            SAMSUNG_980PRO, queue_depth_per_thread=2
+        ) == pytest.approx(8 / 324e-6)
+
+    def test_gather_rate(self):
+        assert CPUModel(threads=16).request_rate == pytest.approx(4.1e6)
+
+
+class TestGPUGoldens:
+    def test_rates(self):
+        gpu = GPUModel()
+        assert gpu.training_time(29_000_000) == pytest.approx(1.0)
+        assert gpu.request_generation_time(77_000_000) == pytest.approx(1.0)
+
+    def test_rate_gap(self):
+        """GPU generation outpaces CPU by ~19x — the Fig. 3 headline."""
+        gpu = GPUModel()
+        cpu = CPUModel(threads=16)
+        gap = gpu.spec.request_generation_rate / cpu.request_rate
+        assert gap == pytest.approx(18.78, abs=0.05)
+
+
+class TestPCIeGoldens:
+    def test_link_and_cpu_path(self):
+        link = PCIeLink()
+        assert link.bandwidth == pytest.approx(32e9)
+        assert link.cpu_path_bandwidth == pytest.approx(27.2e9)
+
+
+class TestAccumulatorGoldens:
+    def test_node_threshold_after_redirects(self):
+        acc = DynamicAccessAccumulator(SSDArray(INTEL_OPTANE))
+        acc.observe(storage_accesses=400, total_accesses=1000)
+        # First observation taken whole: redirect = 0.6.
+        assert acc.redirect_fraction == pytest.approx(0.6)
+        assert acc.node_threshold == pytest.approx(1169 / 0.4, abs=2)

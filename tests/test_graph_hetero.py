@@ -1,0 +1,61 @@
+"""Unit tests for heterogeneous graph support."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import power_law_graph
+from repro.graph.hetero import HeteroGraph, stack_types
+
+
+@pytest.fixture(scope="module")
+def hetero():
+    csr = power_law_graph(100, 600, seed=0)
+    return stack_types({"paper": 60, "author": 35, "institute": 5}, csr)
+
+
+class TestHeteroGraph:
+    def test_counts(self, hetero):
+        assert hetero.num_nodes == 100
+        assert hetero.num_types == 3
+        assert hetero.type_count("paper") == 60
+        assert hetero.type_count("institute") == 5
+
+    def test_nodes_of_type_ranges(self, hetero):
+        papers = hetero.nodes_of_type("paper")
+        authors = hetero.nodes_of_type("author")
+        assert papers[0] == 0 and papers[-1] == 59
+        assert authors[0] == 60 and authors[-1] == 94
+
+    def test_type_of(self, hetero):
+        types = hetero.type_of(np.array([0, 59, 60, 95, 99]))
+        assert list(types) == [0, 0, 1, 2, 2]
+
+    def test_type_of_out_of_range(self, hetero):
+        with pytest.raises(GraphError):
+            hetero.type_of(np.array([100]))
+
+    def test_unknown_type(self, hetero):
+        with pytest.raises(GraphError):
+            hetero.nodes_of_type("venue")
+
+    def test_partition_is_complete(self, hetero):
+        total = sum(hetero.type_count(t) for t in hetero.type_names)
+        assert total == hetero.num_nodes
+
+
+class TestStackTypes:
+    def test_count_mismatch_rejected(self):
+        csr = power_law_graph(10, 20, seed=0)
+        with pytest.raises(GraphError):
+            stack_types({"a": 5, "b": 4}, csr)  # sums to 9, graph has 10
+
+    def test_negative_count_rejected(self):
+        csr = power_law_graph(10, 20, seed=0)
+        with pytest.raises(GraphError):
+            stack_types({"a": 11, "b": -1}, csr)
+
+    def test_empty_types_rejected(self):
+        csr = power_law_graph(10, 20, seed=0)
+        with pytest.raises(GraphError):
+            HeteroGraph(csr=csr, type_names=(), type_offsets=np.array([0]))

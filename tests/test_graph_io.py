@@ -1,0 +1,66 @@
+"""Unit tests for dataset save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import load_scaled
+from repro.graph.io import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_homogeneous(self, tmp_path, tiny_dataset):
+        path = save_dataset(tiny_dataset, tmp_path / "tiny")
+        assert path.suffix == ".npz"
+        loaded = load_dataset(path)
+        assert loaded.name == tiny_dataset.name
+        assert loaded.scale == tiny_dataset.scale
+        assert loaded.feature_dim == tiny_dataset.feature_dim
+        assert np.array_equal(loaded.graph.indptr, tiny_dataset.graph.indptr)
+        assert np.array_equal(
+            loaded.graph.indices, tiny_dataset.graph.indices
+        )
+        assert np.array_equal(loaded.train_ids, tiny_dataset.train_ids)
+        assert loaded.hetero is None
+
+    def test_heterogeneous(self, tmp_path):
+        dataset = load_scaled("MAG240M", 1e-5, seed=0)
+        path = save_dataset(dataset, tmp_path / "mag.npz")
+        loaded = load_dataset(path)
+        assert loaded.hetero is not None
+        assert loaded.hetero.type_names == dataset.hetero.type_names
+        assert np.array_equal(
+            loaded.hetero.type_offsets, dataset.hetero.type_offsets
+        )
+
+    def test_sizes_preserved(self, tmp_path, tiny_dataset):
+        path = save_dataset(tiny_dataset, tmp_path / "t")
+        loaded = load_dataset(path)
+        assert loaded.total_bytes == tiny_dataset.total_bytes
+
+    def test_loaded_dataset_feeds_a_loader(self, tmp_path, tiny_dataset):
+        from repro import GIDSDataLoader, LoaderConfig, SystemConfig
+
+        path = save_dataset(tiny_dataset, tmp_path / "t")
+        loaded = load_dataset(path)
+        loader = GIDSDataLoader(
+            loaded,
+            SystemConfig(cpu_memory_limit_bytes=loaded.total_bytes * 0.5),
+            LoaderConfig(gpu_cache_bytes=1e6),
+            batch_size=8,
+            fanouts=(3,),
+            seed=0,
+        )
+        assert loader.run(3, warmup=1).num_iterations == 3
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "absent.npz")
+
+    def test_not_a_dataset(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, wrong=np.arange(3))
+        with pytest.raises(DatasetError):
+            load_dataset(path)

@@ -1,0 +1,108 @@
+"""Unit tests for PageRank and hot-node ranking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph, from_coo
+from repro.graph.pagerank import hot_node_ranking, pagerank, reverse_pagerank
+
+
+class TestPagerank:
+    def test_sums_to_one(self, tiny_graph):
+        pr = pagerank(tiny_graph)
+        assert pr.sum() == pytest.approx(1.0)
+        assert np.all(pr > 0)
+
+    def test_star_graph_center_dominates(self):
+        """All edges point at node 0 -> node 0 collects the most rank."""
+        n = 10
+        src = np.arange(1, n)
+        dst = np.zeros(n - 1, dtype=np.int64)
+        g = from_coo(src, dst, n)
+        pr = pagerank(g)
+        assert pr.argmax() == 0
+        assert pr[0] > 3 * pr[1]
+
+    def test_symmetric_cycle_is_uniform(self):
+        n = 6
+        src = np.arange(n)
+        dst = (src + 1) % n
+        g = from_coo(src, dst, n)
+        pr = pagerank(g)
+        assert np.allclose(pr, 1.0 / n, atol=1e-6)
+
+    def test_dangling_nodes_handled(self):
+        # Node 1 has no outgoing edge under the reverse orientation.
+        g = CSRGraph(indptr=np.array([0, 1, 1]), indices=np.array([1]))
+        pr = pagerank(g)
+        assert pr.sum() == pytest.approx(1.0)
+
+    def test_personalization_weights(self, tiny_graph):
+        weights = np.zeros(tiny_graph.num_nodes)
+        weights[42] = 1.0
+        pr = pagerank(tiny_graph, weights=weights)
+        uniform = pagerank(tiny_graph)
+        assert pr[42] > uniform[42]
+
+    def test_bad_damping(self, tiny_graph):
+        with pytest.raises(GraphError):
+            pagerank(tiny_graph, damping=1.0)
+
+    def test_bad_weights_shape(self, tiny_graph):
+        with pytest.raises(GraphError):
+            pagerank(tiny_graph, weights=np.ones(3))
+
+    def test_negative_weights(self, tiny_graph):
+        weights = np.ones(tiny_graph.num_nodes)
+        weights[0] = -1
+        with pytest.raises(GraphError):
+            pagerank(tiny_graph, weights=weights)
+
+
+class TestReversePagerank:
+    def test_equals_pagerank_on_reversed(self, tiny_graph):
+        a = reverse_pagerank(tiny_graph)
+        b = pagerank(tiny_graph.reverse())
+        assert np.allclose(a, b)
+
+    def test_ranks_frequently_sampled_sources_high(self):
+        """Node 0 feeds every other node -> sampling reaches it constantly."""
+        n = 10
+        src = np.zeros(n - 1, dtype=np.int64)
+        dst = np.arange(1, n)
+        g = from_coo(src, dst, n)
+        rpr = reverse_pagerank(g)
+        assert rpr.argmax() == 0
+
+
+class TestHotNodeRanking:
+    def test_reverse_pagerank_is_permutation(self, tiny_graph):
+        rank = hot_node_ranking(tiny_graph, "reverse_pagerank")
+        assert sorted(rank) == list(range(tiny_graph.num_nodes))
+
+    def test_out_degree_metric(self, tiny_graph):
+        rank = hot_node_ranking(tiny_graph, "out_degree")
+        counts = np.bincount(
+            tiny_graph.indices, minlength=tiny_graph.num_nodes
+        )
+        assert counts[rank[0]] == counts.max()
+
+    def test_random_metric_is_permutation(self, tiny_graph):
+        rng = np.random.default_rng(1)
+        rank = hot_node_ranking(tiny_graph, "random", rng=rng)
+        assert sorted(rank) == list(range(tiny_graph.num_nodes))
+
+    def test_unknown_metric(self, tiny_graph):
+        with pytest.raises(GraphError):
+            hot_node_ranking(tiny_graph, "betweenness")
+
+    def test_hot_prefix_covers_sampled_accesses(self, tiny_graph):
+        """The top reverse-PageRank decile should cover far more edge
+        traversals than a random decile — the property Fig. 10 relies on."""
+        rank = hot_node_ranking(tiny_graph, "reverse_pagerank")
+        k = tiny_graph.num_nodes // 10
+        hot = np.zeros(tiny_graph.num_nodes, dtype=bool)
+        hot[rank[:k]] = True
+        hot_share = hot[tiny_graph.indices].mean()
+        assert hot_share > 2.0 * (k / tiny_graph.num_nodes)

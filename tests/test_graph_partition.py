@@ -1,0 +1,113 @@
+"""Unit tests for graph partitioning (the ClusterGCN prerequisite)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import from_coo
+from repro.graph.generators import power_law_graph
+from repro.graph.partition import (
+    PartitionResult,
+    bfs_partition,
+    edge_cut,
+    partition_graph,
+    refine_partition,
+)
+
+
+class TestBFSPartition:
+    def test_every_node_assigned(self, tiny_graph):
+        result = bfs_partition(tiny_graph, 4, seed=0)
+        assert len(result.parts) == tiny_graph.num_nodes
+        assert result.parts.min() >= 0
+        assert result.parts.max() < 4
+
+    def test_reasonably_balanced(self, tiny_graph):
+        result = bfs_partition(tiny_graph, 4, seed=0)
+        assert result.balance < 1.3
+
+    def test_part_sizes_sum(self, tiny_graph):
+        result = bfs_partition(tiny_graph, 8, seed=0)
+        assert result.part_sizes.sum() == tiny_graph.num_nodes
+
+    def test_members_consistent(self, tiny_graph):
+        result = bfs_partition(tiny_graph, 3, seed=1)
+        for p in range(3):
+            members = result.members(p)
+            assert np.all(result.parts[members] == p)
+
+    def test_single_part(self, tiny_graph):
+        result = bfs_partition(tiny_graph, 1, seed=0)
+        assert np.all(result.parts == 0)
+        assert edge_cut(tiny_graph, result.parts) == 0
+
+    def test_deterministic(self, tiny_graph):
+        a = bfs_partition(tiny_graph, 4, seed=3)
+        b = bfs_partition(tiny_graph, 4, seed=3)
+        assert np.array_equal(a.parts, b.parts)
+
+    def test_more_parts_than_nodes_rejected(self):
+        g = from_coo(np.array([0]), np.array([1]), 2)
+        with pytest.raises(GraphError):
+            bfs_partition(g, 3)
+
+    def test_invalid_num_parts(self, tiny_graph):
+        with pytest.raises(GraphError):
+            bfs_partition(tiny_graph, 0)
+
+
+class TestRefinement:
+    def test_refinement_never_worsens_cut(self, tiny_graph):
+        initial = bfs_partition(tiny_graph, 4, seed=0)
+        refined = refine_partition(tiny_graph, initial, passes=3)
+        assert edge_cut(tiny_graph, refined.parts) <= edge_cut(
+            tiny_graph, initial.parts
+        )
+
+    def test_refinement_respects_balance_slack(self, tiny_graph):
+        initial = bfs_partition(tiny_graph, 4, seed=0)
+        refined = refine_partition(
+            tiny_graph, initial, passes=3, balance_slack=1.15
+        )
+        assert refined.balance <= 1.2
+
+    def test_zero_passes_is_identity(self, tiny_graph):
+        initial = bfs_partition(tiny_graph, 4, seed=0)
+        refined = refine_partition(tiny_graph, initial, passes=0)
+        assert np.array_equal(refined.parts, initial.parts)
+
+    def test_invalid_slack(self, tiny_graph):
+        initial = bfs_partition(tiny_graph, 2, seed=0)
+        with pytest.raises(GraphError):
+            refine_partition(tiny_graph, initial, balance_slack=0.9)
+
+
+class TestEdgeCut:
+    def test_two_cliques(self):
+        """Two disconnected triangles split perfectly: zero cut."""
+        src = np.array([0, 1, 2, 3, 4, 5])
+        dst = np.array([1, 2, 0, 4, 5, 3])
+        g = from_coo(src, dst, 6)
+        parts = np.array([0, 0, 0, 1, 1, 1])
+        assert edge_cut(g, parts) == 0
+        crossing = np.array([0, 1, 0, 1, 0, 1])
+        assert edge_cut(g, crossing) > 0
+
+    def test_wrong_length_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            edge_cut(tiny_graph, np.zeros(3, dtype=np.int64))
+
+
+class TestPipeline:
+    def test_partition_graph_quality(self):
+        """The refined pipeline should beat a random assignment's cut on a
+        community-structured graph."""
+        g = power_law_graph(400, 3000, seed=5)
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 4, size=g.num_nodes)
+        result = partition_graph(g, 4, refine_passes=3, seed=0)
+        assert edge_cut(g, result.parts) < edge_cut(g, random_parts)
+
+    def test_partition_result_validation(self):
+        with pytest.raises(GraphError):
+            PartitionResult(parts=np.array([0, 5]), num_parts=2)

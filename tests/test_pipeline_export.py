@@ -1,0 +1,85 @@
+"""Unit tests for run-report export (dict/JSON/CSV)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline.export import (
+    iterations_to_csv,
+    report_to_dict,
+    report_to_json,
+    reports_to_comparison_csv,
+)
+from repro.pipeline.metrics import IterationMetrics, RunReport, StageTimes
+from repro.sim.counters import TransferCounters
+
+
+@pytest.fixture
+def report():
+    r = RunReport("GIDS", overlapped=True)
+    for i in range(3):
+        r.append(
+            IterationMetrics(
+                times=StageTimes(
+                    sampling=0.001, aggregation=0.004, transfer=0.0,
+                    training=0.002,
+                ),
+                num_seeds=16,
+                num_input_nodes=100 + i,
+                num_sampled=200,
+                num_edges=150,
+                counters=TransferCounters(
+                    storage_requests=60, storage_bytes=60 * 4096,
+                    gpu_cache_hits=40, gpu_cache_bytes=40 * 4096,
+                ),
+            )
+        )
+    return r
+
+
+class TestReportToDict:
+    def test_summary_fields(self, report):
+        d = report_to_dict(report)
+        assert d["loader"] == "GIDS"
+        assert d["iterations"] == 3
+        assert d["overlapped"] is True
+        assert d["e2e_seconds"] == pytest.approx(0.015)  # max(prep, train)
+        assert d["counters"]["storage_requests"] == 180
+        assert d["gpu_cache_hit_ratio"] == pytest.approx(0.4)
+
+    def test_stage_seconds(self, report):
+        d = report_to_dict(report)
+        assert d["stage_seconds"]["aggregation"] == pytest.approx(0.012)
+
+    def test_json_round_trip(self, report):
+        parsed = json.loads(report_to_json(report))
+        assert parsed == report_to_dict(report)
+
+
+class TestCSV:
+    def test_iterations_csv_shape(self, report):
+        rows = list(csv.reader(io.StringIO(iterations_to_csv(report))))
+        assert len(rows) == 4  # header + 3 iterations
+        header = rows[0]
+        assert header[0] == "iteration"
+        assert rows[1][header.index("num_input_nodes")] == "100"
+
+    def test_iterations_csv_empty_rejected(self):
+        with pytest.raises(PipelineError):
+            iterations_to_csv(RunReport("x"))
+
+    def test_comparison_csv(self, report):
+        other = RunReport("BaM")
+        other.append(report.iterations[0])
+        text = reports_to_comparison_csv([report, other])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert rows[1][0] == "GIDS"
+        assert rows[2][0] == "BaM"
+
+    def test_comparison_csv_empty_rejected(self):
+        with pytest.raises(PipelineError):
+            reports_to_comparison_csv([])

@@ -1,0 +1,134 @@
+"""Property-based tests for the cache tiers (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.belady import BeladyCache
+from repro.cache.gpu_cache import GPUSoftwareCache
+from repro.sim.pagecache import PageCache
+
+page_batches = st.lists(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=30),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestGPUCacheProperties:
+    @given(
+        capacity=st.integers(min_value=0, max_value=20),
+        batches=page_batches,
+        policy=st.sampled_from(["random", "lru"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_hold_under_arbitrary_access(
+        self, capacity, batches, policy
+    ):
+        cache = GPUSoftwareCache(capacity, policy=policy, seed=0)
+        for batch in batches:
+            cache.access(np.array(batch, dtype=np.int64))
+            cache.check_invariants()
+        assert len(cache) <= capacity
+        assert cache.stats.hits + cache.stats.misses == sum(
+            len(b) for b in batches
+        )
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=20),
+        batches=page_batches,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_hold_with_window_registration(self, capacity, batches):
+        """Register each batch one step ahead, then access it — the window
+        protocol.  Counters must stay balanced and invariants intact."""
+        cache = GPUSoftwareCache(capacity, seed=1)
+        arrays = [np.unique(np.array(b, dtype=np.int64)) for b in batches]
+        for pages in arrays:
+            cache.register_future(pages)
+        for pages in arrays:
+            cache.access(pages)
+            cache.check_invariants()
+        # Every registered unit was consumed: nothing stays pinned.
+        assert cache.num_pinned == 0
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=20),
+        batches=page_batches,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_forget_future_cancels_register(self, capacity, batches):
+        cache = GPUSoftwareCache(capacity, seed=2)
+        arrays = [np.unique(np.array(b, dtype=np.int64)) for b in batches]
+        for pages in arrays:
+            cache.register_future(pages)
+        for pages in reversed(arrays):
+            cache.forget_future(pages)
+        cache.check_invariants()
+        assert cache.num_pinned == 0
+
+
+class TestPageCacheProperties:
+    @given(
+        capacity=st.integers(min_value=0, max_value=25),
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=0, max_size=200
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_capacity_and_accounting(self, capacity, accesses):
+        cache = PageCache(capacity)
+        hits, misses = cache.access(np.array(accesses, dtype=np.int64))
+        assert hits + misses == len(accesses)
+        assert len(cache) <= capacity
+        assert hits == cache.hits and misses == cache.misses
+
+    @given(
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=100
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bigger_cache_never_hits_less(self, accesses):
+        """LRU has the inclusion property: hits are monotone in capacity."""
+        arr = np.array(accesses, dtype=np.int64)
+        small = PageCache(5)
+        big = PageCache(15)
+        small.access(arr)
+        big.access(arr)
+        assert big.hits >= small.hits
+
+
+class TestBeladyProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=15),
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=0, max_size=150
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_belady_optimality_vs_lru(self, capacity, accesses):
+        """Belady's algorithm is optimal: it never misses more than LRU on
+        the same trace with the same capacity."""
+        arr = np.array(accesses, dtype=np.int64)
+        belady = BeladyCache(capacity)
+        _, opt_misses = belady.process_superbatch(arr)
+        lru = PageCache(capacity)
+        _, lru_misses = lru.access(arr)
+        assert opt_misses <= lru_misses
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=15),
+        batches=page_batches,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_across_superbatches(self, capacity, batches):
+        cache = BeladyCache(capacity)
+        total = 0
+        for batch in batches:
+            arr = np.array(batch, dtype=np.int64)
+            hits, misses = cache.process_superbatch(arr)
+            assert hits + misses == len(arr)
+            total += len(arr)
+            assert len(cache) <= capacity
+        assert cache.stats.hits + cache.stats.misses == total

@@ -1,0 +1,84 @@
+"""Property-based tests for graph structures and PageRank (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import from_coo
+from repro.graph.pagerank import pagerank, reverse_pagerank
+
+
+@st.composite
+def coo_edges(draw, max_nodes=50, max_edges=200):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    dst = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64), n
+
+
+class TestCSRProperties:
+    @given(coo_edges())
+    @settings(max_examples=60, deadline=None)
+    def test_from_coo_preserves_edge_multiset(self, edges):
+        src, dst, n = edges
+        g = from_coo(src, dst, n)
+        assert g.num_nodes == n
+        assert g.num_edges == len(src)
+        rebuilt = sorted(
+            zip(
+                np.repeat(np.arange(n), g.degrees).tolist(),
+                g.indices.tolist(),
+            )
+        )
+        original = sorted(zip(dst.tolist(), src.tolist()))
+        assert rebuilt == original
+
+    @given(coo_edges())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_is_involution(self, edges):
+        src, dst, n = edges
+        g = from_coo(src, dst, n)
+        rr = g.reverse().reverse()
+        assert np.array_equal(rr.indptr, g.indptr)
+        for v in range(n):
+            assert sorted(rr.neighbors(v)) == sorted(g.neighbors(v))
+
+    @given(coo_edges())
+    @settings(max_examples=60, deadline=None)
+    def test_degrees_sum_to_edges(self, edges):
+        src, dst, n = edges
+        g = from_coo(src, dst, n)
+        assert int(g.degrees.sum()) == g.num_edges
+
+
+class TestPagerankProperties:
+    @given(coo_edges(max_nodes=30, max_edges=100))
+    @settings(max_examples=40, deadline=None)
+    def test_distribution_properties(self, edges):
+        src, dst, n = edges
+        g = from_coo(src, dst, n)
+        pr = pagerank(g, tol=1e-10)
+        assert pr.shape == (n,)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(pr > 0)
+
+    @given(coo_edges(max_nodes=30, max_edges=100))
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_pagerank_also_a_distribution(self, edges):
+        src, dst, n = edges
+        g = from_coo(src, dst, n)
+        rpr = reverse_pagerank(g, tol=1e-10)
+        assert rpr.sum() == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,80 @@
+"""Property-based tests for the analytic device models (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SSDSpec
+from repro.core.accumulator import DynamicAccessAccumulator
+from repro.sim.ssd import SSDArray
+
+ssd_specs = st.builds(
+    SSDSpec,
+    name=st.just("hypo-ssd"),
+    read_latency_s=st.floats(min_value=1e-6, max_value=1e-3),
+    peak_iops=st.floats(min_value=1e4, max_value=5e6),
+)
+
+
+class TestSSDModelProperties:
+    @given(
+        spec=ssd_specs,
+        num_ssds=st.integers(min_value=1, max_value=8),
+        n=st.integers(min_value=1, max_value=10**6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_achieved_iops_bounded_and_positive(self, spec, num_ssds, n):
+        arr = SSDArray(spec, num_ssds)
+        iops = arr.achieved_iops(n)
+        assert 0 < iops < arr.peak_iops
+
+    @given(spec=ssd_specs, num_ssds=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_achieved_iops_monotone_in_overlap(self, spec, num_ssds):
+        arr = SSDArray(spec, num_ssds)
+        values = [arr.achieved_iops(n) for n in (1, 10, 100, 1000, 100_000)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    @given(
+        spec=ssd_specs,
+        num_ssds=st.integers(min_value=1, max_value=4),
+        target=st.floats(min_value=0.05, max_value=0.99),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_required_overlapping_achieves_target(self, spec, num_ssds, target):
+        arr = SSDArray(spec, num_ssds)
+        n = arr.required_overlapping(target)
+        assert n >= 1
+        assert arr.achieved_iops(n) >= target * arr.peak_iops
+
+    @given(spec=ssd_specs, n=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_time_superadditive_overheads(self, spec, n):
+        """Splitting a batch in two always costs extra fixed phases — the
+        inefficiency the accumulator removes."""
+        arr = SSDArray(spec)
+        if n < 2:
+            return
+        half = n // 2
+        merged = arr.batch_service_time(n)
+        split = arr.batch_service_time(half) + arr.batch_service_time(n - half)
+        assert split > merged
+
+
+class TestAccumulatorProperties:
+    @given(
+        spec=ssd_specs,
+        observations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_redirect_fraction_stays_in_unit_interval(self, spec, observations):
+        acc = DynamicAccessAccumulator(SSDArray(spec))
+        for storage, extra in observations:
+            acc.observe(storage, storage + extra)
+            assert 0.0 <= acc.redirect_fraction <= 1.0
+            assert acc.node_threshold >= acc.storage_threshold

@@ -1,0 +1,100 @@
+"""Property-based tests for sampling and the storage layout (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import power_law_graph
+from repro.sampling.neighbor import NeighborSampler
+from repro.storage.layout import PageLayout
+
+# One moderately sized graph shared by all examples (generation is costly).
+_GRAPH = power_law_graph(300, 2500, seed=11)
+
+
+class TestNeighborSamplingProperties:
+    @given(
+        seed_ids=st.lists(
+            st.integers(min_value=0, max_value=299),
+            min_size=1,
+            max_size=40,
+        ),
+        fanout=st.integers(min_value=1, max_value=8),
+        layers=st.integers(min_value=1, max_value=3),
+        rng_seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_subgraph_is_valid(self, seed_ids, fanout, layers, rng_seed):
+        sampler = NeighborSampler(_GRAPH, (fanout,) * layers, seed=rng_seed)
+        batch = sampler.sample(np.array(seed_ids, dtype=np.int64))
+
+        # Seeds are deduplicated and contained in the inputs.
+        assert len(np.unique(batch.seeds)) == len(batch.seeds)
+        assert np.all(np.isin(batch.seeds, batch.input_nodes))
+
+        # Inputs are sorted and unique.
+        assert np.all(np.diff(batch.input_nodes) > 0)
+
+        all_nodes = set(batch.input_nodes.tolist())
+        for layer in batch.layers:
+            # Per-destination fanout cap.
+            if layer.num_edges:
+                counts = np.bincount(layer.dst)
+                assert counts.max() <= fanout
+            # Every edge endpoint is an input node.
+            assert set(layer.src.tolist()) <= all_nodes
+            assert set(layer.dst.tolist()) <= all_nodes
+            # Every sampled edge exists in the graph.
+            for s, d in zip(layer.src, layer.dst):
+                assert s in _GRAPH.neighbors(int(d))
+
+    @given(
+        seed_ids=st.lists(
+            st.integers(min_value=0, max_value=299), min_size=1, max_size=20
+        ),
+        rng_seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_work_accounting(self, seed_ids, rng_seed):
+        sampler = NeighborSampler(_GRAPH, (4, 4), seed=rng_seed)
+        batch = sampler.sample(np.array(seed_ids, dtype=np.int64))
+        assert batch.num_sampled == len(batch.seeds) + batch.num_edges
+        assert batch.num_input_nodes <= batch.num_sampled
+
+
+class TestPageLayoutProperties:
+    @given(
+        num_nodes=st.integers(min_value=1, max_value=5000),
+        feature_bytes=st.sampled_from(
+            [256, 512, 1024, 1536, 3072, 4096, 5000, 8192]
+        ),
+        node_ids=st.lists(st.integers(min_value=0), min_size=0, max_size=50),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pages_cover_requested_nodes(self, num_nodes, feature_bytes, node_ids):
+        layout = PageLayout(num_nodes=num_nodes, feature_bytes=feature_bytes)
+        ids = np.array(
+            [i % num_nodes for i in node_ids], dtype=np.int64
+        )
+        pages = layout.pages_for_nodes(ids)
+        # Unique, sorted, in range.
+        assert np.all(np.diff(pages) > 0) if len(pages) > 1 else True
+        if len(pages):
+            assert pages.min() >= 0
+            assert pages.max() < layout.total_pages
+        # Every byte of every requested node falls in a returned page.
+        for node in ids:
+            start = int(node) * feature_bytes
+            end = start + feature_bytes
+            for byte in (start, end - 1):
+                assert byte // layout.page_bytes in pages
+
+    @given(
+        num_nodes=st.integers(min_value=1, max_value=1000),
+        feature_bytes=st.sampled_from([512, 3072, 4096, 8192]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_total_pages_bound(self, num_nodes, feature_bytes):
+        layout = PageLayout(num_nodes=num_nodes, feature_bytes=feature_bytes)
+        full = layout.pages_for_nodes(np.arange(num_nodes))
+        assert len(full) == layout.total_pages

@@ -1,0 +1,86 @@
+"""Unit tests for LADIES layer-wise importance sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph.csr import from_coo
+from repro.sampling.ladies import LadiesSampler
+
+
+class TestLadiesSampler:
+    def test_layer_budget_respected(self, tiny_graph):
+        sampler = LadiesSampler(tiny_graph, (16, 16), seed=0)
+        batch = sampler.sample(np.arange(10))
+        for layer in batch.layers:
+            chosen = np.unique(layer.src)
+            assert len(chosen) <= 16
+
+    def test_edges_exist_in_graph(self, tiny_graph):
+        sampler = LadiesSampler(tiny_graph, (32,), seed=1)
+        batch = sampler.sample(np.arange(25))
+        layer = batch.layers[0]
+        for s, d in zip(layer.src[:100], layer.dst[:100]):
+            assert s in tiny_graph.neighbors(int(d))
+
+    def test_samples_shared_across_batch(self, tiny_graph):
+        """LADIES samples one candidate set per layer, not per node —
+        the layer must not exceed the budget even with many seeds."""
+        sampler = LadiesSampler(tiny_graph, (8,), seed=2)
+        batch = sampler.sample(np.arange(100))
+        assert len(np.unique(batch.layers[0].src)) <= 8
+
+    def test_high_importance_nodes_preferred(self):
+        """A node feeding every seed should almost always be selected."""
+        # Node 0 feeds nodes 1..20; nodes 21..40 feed one node each.
+        src = np.concatenate([np.zeros(20, dtype=np.int64), np.arange(21, 41)])
+        dst = np.concatenate([np.arange(1, 21), np.arange(1, 21)])
+        g = from_coo(src, dst, 41)
+        hits = 0
+        for seed in range(30):
+            sampler = LadiesSampler(g, (5,), seed=seed)
+            batch = sampler.sample(np.arange(1, 21))
+            if 0 in batch.layers[0].src:
+                hits += 1
+        assert hits >= 28
+
+    def test_input_nodes_cover_everything(self, tiny_graph):
+        sampler = LadiesSampler(tiny_graph, (16, 16), seed=3)
+        batch = sampler.sample(np.arange(12))
+        referenced = set(batch.seeds.tolist())
+        for layer in batch.layers:
+            referenced.update(layer.src.tolist())
+            referenced.update(layer.dst.tolist())
+        assert referenced <= set(batch.input_nodes.tolist())
+
+    def test_deterministic(self, tiny_graph):
+        a = LadiesSampler(tiny_graph, (16, 8), seed=5).sample(np.arange(10))
+        b = LadiesSampler(tiny_graph, (16, 8), seed=5).sample(np.arange(10))
+        assert np.array_equal(a.input_nodes, b.input_nodes)
+
+    def test_isolated_layer_handled(self):
+        g = from_coo(np.array([1]), np.array([2]), 3)
+        sampler = LadiesSampler(g, (4,), seed=0)
+        batch = sampler.sample(np.array([0]))  # node 0 has no in-neighbors
+        assert batch.layers[0].num_edges == 0
+
+    def test_invalid_layer_sizes(self, tiny_graph):
+        with pytest.raises(SamplingError):
+            LadiesSampler(tiny_graph, ())
+        with pytest.raises(SamplingError):
+            LadiesSampler(tiny_graph, (16, -1))
+
+    def test_empty_seeds_rejected(self, tiny_graph):
+        sampler = LadiesSampler(tiny_graph, (8,), seed=0)
+        with pytest.raises(SamplingError):
+            sampler.sample(np.array([], dtype=np.int64))
+
+    def test_denser_than_neighbor_sampling_per_node(self, tiny_graph):
+        """Layer-wise sampling reuses candidates across the batch, so the
+        unique-input count is far below neighborhood sampling's."""
+        from repro.sampling.neighbor import NeighborSampler
+
+        seeds = np.arange(60)
+        ladies = LadiesSampler(tiny_graph, (32, 32), seed=0).sample(seeds)
+        neigh = NeighborSampler(tiny_graph, (10, 10), seed=0).sample(seeds)
+        assert ladies.num_input_nodes < neigh.num_input_nodes

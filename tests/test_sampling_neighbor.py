@@ -1,0 +1,112 @@
+"""Unit tests for GraphSAGE neighborhood sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph.csr import from_coo
+from repro.sampling.neighbor import NeighborSampler
+
+
+@pytest.fixture(scope="module")
+def sampler(tiny_graph):
+    return NeighborSampler(tiny_graph, (5, 3), seed=0)
+
+
+class TestNeighborSampler:
+    def test_all_sampled_edges_exist(self, tiny_graph):
+        sampler = NeighborSampler(tiny_graph, (4, 4), seed=1)
+        batch = sampler.sample(np.arange(0, 100, 7))
+        for layer in batch.layers:
+            for s, d in zip(layer.src[:200], layer.dst[:200]):
+                assert s in tiny_graph.neighbors(int(d))
+
+    def test_fanout_respected(self, tiny_graph):
+        fanout = 3
+        sampler = NeighborSampler(tiny_graph, (fanout,), seed=2)
+        batch = sampler.sample(np.arange(50))
+        layer = batch.layers[0]
+        counts = np.bincount(layer.dst, minlength=tiny_graph.num_nodes)
+        assert counts.max() <= fanout
+
+    def test_low_degree_nodes_take_all_neighbors(self):
+        # Node 0 has exactly 2 in-neighbors; fanout 5 must take both.
+        g = from_coo(np.array([1, 2]), np.array([0, 0]), 3)
+        sampler = NeighborSampler(g, (5,), seed=0)
+        batch = sampler.sample(np.array([0]))
+        assert sorted(batch.layers[0].src) == [1, 2]
+
+    def test_no_duplicate_edges(self, tiny_graph):
+        sampler = NeighborSampler(tiny_graph, (8, 8), seed=3)
+        batch = sampler.sample(np.arange(30))
+        for layer in batch.layers:
+            keys = layer.dst * tiny_graph.num_nodes + layer.src
+            assert len(np.unique(keys)) == len(keys)
+
+    def test_input_nodes_cover_all_sampled(self, sampler):
+        batch = sampler.sample(np.arange(20))
+        referenced = set(batch.seeds.tolist())
+        for layer in batch.layers:
+            referenced.update(layer.src.tolist())
+            referenced.update(layer.dst.tolist())
+        assert referenced <= set(batch.input_nodes.tolist())
+
+    def test_input_nodes_sorted_unique(self, sampler):
+        batch = sampler.sample(np.arange(20))
+        assert np.all(np.diff(batch.input_nodes) > 0)
+
+    def test_layers_ordered_input_first(self, sampler):
+        """The first layer must be the widest (k-hop frontier)."""
+        batch = sampler.sample(np.arange(20))
+        frontier_nodes = np.unique(
+            np.concatenate([batch.layers[0].src, batch.layers[0].dst])
+        )
+        inner_nodes = np.unique(
+            np.concatenate([batch.layers[-1].src, batch.layers[-1].dst])
+        )
+        assert len(frontier_nodes) >= len(inner_nodes)
+
+    def test_last_layer_dsts_are_seed_related(self, sampler):
+        batch = sampler.sample(np.arange(20))
+        # Every dst of the last (seed-adjacent) layer was a frontier node of
+        # the seed expansion; with one layer of look-back that is the seeds.
+        sampler1 = NeighborSampler(sampler.graph, (4,), seed=0)
+        b1 = sampler1.sample(np.arange(20))
+        assert set(b1.layers[0].dst.tolist()) <= set(b1.seeds.tolist())
+
+    def test_deterministic_with_seed(self, tiny_graph):
+        a = NeighborSampler(tiny_graph, (5, 5), seed=9).sample(np.arange(10))
+        b = NeighborSampler(tiny_graph, (5, 5), seed=9).sample(np.arange(10))
+        assert np.array_equal(a.input_nodes, b.input_nodes)
+        for la, lb in zip(a.layers, b.layers):
+            assert np.array_equal(la.src, lb.src)
+
+    def test_seed_dedup(self, sampler):
+        batch = sampler.sample(np.array([3, 3, 3, 5]))
+        assert list(batch.seeds) == [3, 5]
+
+    def test_num_sampled_counts_work(self, sampler):
+        batch = sampler.sample(np.arange(10))
+        assert batch.num_sampled == len(batch.seeds) + batch.num_edges
+
+    def test_empty_seeds_rejected(self, sampler):
+        with pytest.raises(SamplingError):
+            sampler.sample(np.array([], dtype=np.int64))
+
+    def test_out_of_range_seeds_rejected(self, sampler):
+        with pytest.raises(SamplingError):
+            sampler.sample(np.array([10**6]))
+
+    def test_invalid_fanouts(self, tiny_graph):
+        with pytest.raises(SamplingError):
+            NeighborSampler(tiny_graph, ())
+        with pytest.raises(SamplingError):
+            NeighborSampler(tiny_graph, (5, 0))
+
+    def test_isolated_seed(self):
+        """A seed with no in-neighbors still yields a valid mini-batch."""
+        g = from_coo(np.array([1]), np.array([2]), 3)
+        sampler = NeighborSampler(g, (3,), seed=0)
+        batch = sampler.sample(np.array([0]))
+        assert batch.layers[0].num_edges == 0
+        assert list(batch.input_nodes) == [0]

@@ -1,0 +1,82 @@
+"""Unit tests for epoch seed batching and the MiniBatch container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.minibatch import MiniBatch, SampledLayer
+from repro.sampling.seeds import epoch_seed_batches
+
+
+class TestEpochSeedBatches:
+    def test_covers_all_ids_once(self):
+        ids = np.arange(10)
+        batches = list(epoch_seed_batches(ids, 3, seed=0))
+        flat = np.concatenate(batches)
+        assert sorted(flat) == list(range(10))
+
+    def test_batch_sizes(self):
+        batches = list(epoch_seed_batches(np.arange(10), 3, seed=0))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+
+    def test_drop_last(self):
+        batches = list(
+            epoch_seed_batches(np.arange(10), 3, drop_last=True, seed=0)
+        )
+        assert [len(b) for b in batches] == [3, 3, 3]
+
+    def test_shuffle_determinism(self):
+        a = list(epoch_seed_batches(np.arange(20), 5, seed=4))
+        b = list(epoch_seed_batches(np.arange(20), 5, seed=4))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_no_shuffle_preserves_order(self):
+        batches = list(epoch_seed_batches(np.arange(6), 2, shuffle=False))
+        assert np.array_equal(np.concatenate(batches), np.arange(6))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(SamplingError):
+            list(epoch_seed_batches(np.arange(5), 0))
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(SamplingError):
+            list(epoch_seed_batches(np.array([], dtype=np.int64), 2))
+
+
+class TestMiniBatch:
+    def _layer(self):
+        return SampledLayer(src=np.array([1, 2]), dst=np.array([0, 0]))
+
+    def test_counts(self):
+        mb = MiniBatch(
+            seeds=np.array([0]),
+            layers=(self._layer(),),
+            input_nodes=np.array([0, 1, 2]),
+            num_sampled=3,
+        )
+        assert mb.num_edges == 2
+        assert mb.num_input_nodes == 3
+        assert mb.num_layers == 1
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(SamplingError):
+            MiniBatch(
+                seeds=np.array([], dtype=np.int64),
+                layers=(),
+                input_nodes=np.array([], dtype=np.int64),
+                num_sampled=0,
+            )
+
+    def test_negative_num_sampled_rejected(self):
+        with pytest.raises(SamplingError):
+            MiniBatch(
+                seeds=np.array([0]),
+                layers=(),
+                input_nodes=np.array([0]),
+                num_sampled=-1,
+            )
+
+    def test_layer_shape_mismatch_rejected(self):
+        with pytest.raises(SamplingError):
+            SampledLayer(src=np.array([1, 2]), dst=np.array([0]))

@@ -1,0 +1,45 @@
+"""Unit tests for transfer counters."""
+
+import pytest
+
+from repro.sim.counters import TransferCounters
+
+
+class TestTransferCounters:
+    def test_defaults_zero(self):
+        c = TransferCounters()
+        assert c.total_requests == 0
+        assert c.ingress_bytes == 0
+        assert c.gpu_cache_hit_ratio == 0.0
+        assert c.redirect_fraction == 0.0
+
+    def test_ingress_excludes_cache_hits(self):
+        c = TransferCounters(
+            storage_bytes=100, cpu_buffer_bytes=50, gpu_cache_bytes=25
+        )
+        assert c.ingress_bytes == 150
+        assert c.total_feature_bytes == 175
+
+    def test_redirect_fraction(self):
+        c = TransferCounters(
+            storage_requests=60, cpu_buffer_requests=30, gpu_cache_hits=10
+        )
+        assert c.redirect_fraction == pytest.approx(0.4)
+
+    def test_hit_ratio(self):
+        c = TransferCounters(storage_requests=75, gpu_cache_hits=25)
+        assert c.gpu_cache_hit_ratio == pytest.approx(0.25)
+
+    def test_merge(self):
+        a = TransferCounters(storage_requests=1, storage_bytes=10)
+        b = TransferCounters(storage_requests=2, cpu_buffer_bytes=5)
+        a.merge(b)
+        assert a.storage_requests == 3
+        assert a.storage_bytes == 10
+        assert a.cpu_buffer_bytes == 5
+
+    def test_snapshot_is_independent(self):
+        a = TransferCounters(storage_requests=1)
+        b = a.snapshot()
+        b.storage_requests = 99
+        assert a.storage_requests == 1

@@ -1,0 +1,141 @@
+"""Unit tests for the PCIe link, CPU and GPU rate models."""
+
+import pytest
+
+from repro.config import INTEL_OPTANE, SAMSUNG_980PRO, CPUSpec, PCIeSpec
+from repro.errors import ConfigError
+from repro.sim.cpu import CPUModel
+from repro.sim.gpu import GPUModel
+from repro.sim.pcie import PCIeLink
+
+
+class TestPCIeLink:
+    def test_transfer_time(self):
+        link = PCIeLink()
+        assert link.transfer_time(32e9) == pytest.approx(1.0)
+
+    def test_ingress_storage_bound(self):
+        """Slow storage stream dominates when it is the bottleneck."""
+        link = PCIeLink()
+        t = link.ingress_time(
+            storage_bytes=1e9, storage_time=1.0, cpu_bytes=0.0
+        )
+        assert t == pytest.approx(1.0)
+
+    def test_ingress_link_floor(self):
+        """Total volume can never beat the link bandwidth."""
+        link = PCIeLink()
+        t = link.ingress_time(
+            storage_bytes=16e9, storage_time=0.1, cpu_bytes=48e9
+        )
+        assert t >= (64e9) / link.bandwidth
+
+    def test_cpu_path_is_derated(self):
+        link = PCIeLink(cpu_path_efficiency=0.85)
+        assert link.cpu_path_bandwidth == pytest.approx(0.85 * 32e9)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ConfigError):
+            PCIeLink(cpu_path_efficiency=0.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            PCIeLink().transfer_time(-1)
+        with pytest.raises(ConfigError):
+            PCIeLink().ingress_time(-1, 0.0, 0.0)
+
+
+class TestCPUModel:
+    def test_gather_rate_plateau(self):
+        cpu = CPUModel(threads=16)
+        assert cpu.gather_time_resident(4_100_000) == pytest.approx(1.0)
+
+    def test_sampling_time(self):
+        cpu = CPUModel(threads=16)
+        assert cpu.sampling_time(41_000) == pytest.approx(0.01)
+
+    def test_fault_service_single_thread_is_serial(self):
+        """np.memmap gathers fault one page at a time (Section 2.3)."""
+        cpu = CPUModel(threads=16)
+        t = cpu.fault_service_time(1000, INTEL_OPTANE, threads=1)
+        per_fault = 15e-6 + 11e-6
+        assert t == pytest.approx(1000 * per_fault)
+
+    def test_fault_service_scales_with_latency(self):
+        cpu = CPUModel(threads=16)
+        optane = cpu.fault_service_time(100, INTEL_OPTANE, threads=1)
+        flash = cpu.fault_service_time(100, SAMSUNG_980PRO, threads=1)
+        assert flash > 10 * optane
+
+    def test_fault_service_device_floor(self):
+        """Many threads cannot exceed the device's peak IOPS."""
+        spec = CPUSpec(page_fault_overhead_s=0.0, fault_queue_depth_per_thread=64)
+        cpu = CPUModel(spec=spec, threads=64)
+        t = cpu.fault_service_time(3_000_000, INTEL_OPTANE)
+        assert t >= 3_000_000 / INTEL_OPTANE.peak_iops * 0.999
+
+    def test_zero_faults(self):
+        assert CPUModel().fault_service_time(0, INTEL_OPTANE) == 0.0
+
+    def test_async_io_latency_bound(self):
+        """980 Pro: the in-flight window over latency binds (Ginex)."""
+        cpu = CPUModel(threads=4)
+        rate = cpu.async_io_rate(SAMSUNG_980PRO, queue_depth_per_thread=2)
+        assert rate == pytest.approx(8 / 324e-6)
+
+    def test_async_io_submit_bound(self):
+        """Optane: CPU submission cost binds before device peak."""
+        cpu = CPUModel(threads=4)
+        rate = cpu.async_io_rate(INTEL_OPTANE, queue_depth_per_thread=2)
+        assert rate == pytest.approx(4 / 20e-6)
+
+    def test_async_io_device_bound(self):
+        cpu = CPUModel(threads=64)
+        rate = cpu.async_io_rate(
+            INTEL_OPTANE, queue_depth_per_thread=64, submit_overhead_s=1e-6
+        )
+        assert rate == pytest.approx(INTEL_OPTANE.peak_iops)
+
+    def test_invalid_inputs(self):
+        cpu = CPUModel()
+        with pytest.raises(ConfigError):
+            CPUModel(threads=0)
+        with pytest.raises(ConfigError):
+            cpu.sampling_time(-1)
+        with pytest.raises(ConfigError):
+            cpu.fault_service_time(1, INTEL_OPTANE, threads=0)
+        with pytest.raises(ConfigError):
+            cpu.async_io_rate(INTEL_OPTANE, queue_depth_per_thread=0)
+
+
+class TestGPUModel:
+    def test_sampling_includes_launch_overhead(self):
+        gpu = GPUModel()
+        t1 = gpu.sampling_time(77_000_000, n_kernels=0)
+        t2 = gpu.sampling_time(77_000_000, n_kernels=3)
+        assert t1 == pytest.approx(1.0)
+        assert t2 == pytest.approx(1.0 + 3 * 25e-6)
+
+    def test_training_time(self):
+        gpu = GPUModel()
+        assert gpu.training_time(29_000_000) == pytest.approx(1.0)
+
+    def test_generation_faster_than_cpu(self):
+        """Fig. 3: GPU generates requests ~19x faster than the CPU."""
+        gpu = GPUModel()
+        cpu = CPUModel(threads=16)
+        n = 1_000_000
+        assert cpu.gather_time_resident(n) > 15 * gpu.request_generation_time(n)
+
+    def test_hbm_read_is_fast(self):
+        gpu = GPUModel()
+        assert gpu.hbm_read_time(1555e9) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        gpu = GPUModel()
+        with pytest.raises(ConfigError):
+            gpu.sampling_time(-1)
+        with pytest.raises(ConfigError):
+            gpu.training_time(-1)
+        with pytest.raises(ConfigError):
+            gpu.hbm_read_time(-1)

@@ -1,0 +1,75 @@
+"""Unit tests for the OS page cache model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.pagecache import PageCache
+
+
+class TestPageCache:
+    def test_cold_miss_then_hit(self):
+        cache = PageCache(capacity_pages=4)
+        hits, misses = cache.access(np.array([1, 2, 3]))
+        assert (hits, misses) == (0, 3)
+        hits, misses = cache.access(np.array([1, 2, 3]))
+        assert (hits, misses) == (3, 0)
+
+    def test_capacity_never_exceeded(self):
+        cache = PageCache(capacity_pages=3)
+        cache.access(np.arange(10))
+        assert len(cache) == 3
+
+    def test_lru_eviction_order(self):
+        cache = PageCache(capacity_pages=2)
+        cache.access(np.array([1, 2]))
+        cache.access(np.array([1]))       # refresh 1 -> 2 is LRU
+        cache.access(np.array([3]))       # evicts 2
+        assert 1 in cache
+        assert 2 not in cache
+        assert 3 in cache
+
+    def test_repeated_page_in_one_batch(self):
+        cache = PageCache(capacity_pages=2)
+        hits, misses = cache.access(np.array([7, 7, 7]))
+        assert (hits, misses) == (2, 1)
+
+    def test_zero_capacity_all_miss(self):
+        cache = PageCache(capacity_pages=0)
+        hits, misses = cache.access(np.array([1, 2, 1]))
+        assert (hits, misses) == (0, 3)
+        assert len(cache) == 0
+
+    def test_hit_ratio(self):
+        cache = PageCache(capacity_pages=8)
+        cache.access(np.array([1, 2]))
+        cache.access(np.array([1, 2]))
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self):
+        assert PageCache(4).hit_ratio == 0.0
+
+    def test_eviction_counter(self):
+        cache = PageCache(capacity_pages=2)
+        cache.access(np.arange(5))
+        assert cache.evictions == 3
+
+    def test_reset_stats_keeps_contents(self):
+        cache = PageCache(capacity_pages=4)
+        cache.access(np.array([1, 2]))
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+        hits, _ = cache.access(np.array([1, 2]))
+        assert hits == 2
+
+    def test_scan_thrashing(self):
+        """A working set larger than capacity yields ~zero hits under LRU —
+        the pathology behind Fig. 5's aggregation-dominated breakdown."""
+        cache = PageCache(capacity_pages=100)
+        for _ in range(3):
+            hits, _ = cache.access(np.arange(1000))
+            assert hits == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            PageCache(capacity_pages=-1)

@@ -1,0 +1,137 @@
+"""Unit tests for the page layout and feature store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, StorageError
+from repro.storage.feature_store import FeatureStore
+from repro.storage.layout import PageLayout
+
+
+class TestPageLayout:
+    def test_nodes_per_page_small_features(self):
+        """Dim-128 float32 features: 512 B each, 8 per 4 KB page."""
+        layout = PageLayout(num_nodes=100, feature_bytes=512)
+        assert layout.nodes_per_page == 8
+        assert layout.pages_per_node == 1
+
+    def test_pages_per_node_large_features(self):
+        layout = PageLayout(num_nodes=100, feature_bytes=8192)
+        assert layout.pages_per_node == 2
+
+    def test_exact_fit(self):
+        """Dim-1024 features are exactly one page (IGB datasets)."""
+        layout = PageLayout(num_nodes=100, feature_bytes=4096)
+        assert layout.nodes_per_page == 1
+        assert layout.pages_per_node == 1
+
+    def test_total_pages(self):
+        layout = PageLayout(num_nodes=10, feature_bytes=512)
+        assert layout.total_pages == 2  # 10 * 512 = 5120 B -> 2 pages
+
+    def test_pages_for_nodes_dedups_shared_pages(self):
+        layout = PageLayout(num_nodes=100, feature_bytes=512)
+        pages = layout.pages_for_nodes(np.array([0, 1, 7, 8]))
+        # Nodes 0,1,7 share page 0; node 8 is on page 1.
+        assert list(pages) == [0, 1]
+
+    def test_straddling_features(self):
+        """MAG240M-style 3072 B features straddle 4 KB page boundaries."""
+        layout = PageLayout(num_nodes=100, feature_bytes=3072)
+        # Node 1 spans bytes [3072, 6144) -> pages 0 and 1.
+        pages = layout.pages_for_nodes(np.array([1]))
+        assert list(pages) == [0, 1]
+        # Node 0 fits in page 0 alone.
+        assert list(layout.pages_for_nodes(np.array([0]))) == [0]
+        # All returned pages must stay below total_pages.
+        everything = layout.pages_for_nodes(np.arange(100))
+        assert everything.max() < layout.total_pages
+
+    def test_pages_for_nodes_multi_page_nodes(self):
+        layout = PageLayout(num_nodes=100, feature_bytes=8192)
+        pages = layout.pages_for_nodes(np.array([0, 1]))
+        assert list(pages) == [0, 1, 2, 3]
+
+    def test_pages_for_nodes_empty(self):
+        layout = PageLayout(num_nodes=10, feature_bytes=4096)
+        assert len(layout.pages_for_nodes(np.array([], dtype=np.int64))) == 0
+
+    def test_out_of_range(self):
+        layout = PageLayout(num_nodes=10, feature_bytes=4096)
+        with pytest.raises(ConfigError):
+            layout.pages_for_nodes(np.array([10]))
+
+    def test_first_page_of(self):
+        layout = PageLayout(num_nodes=100, feature_bytes=512)
+        assert list(layout.first_page_of(np.array([0, 8, 16]))) == [0, 1, 2]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            PageLayout(num_nodes=0, feature_bytes=512)
+        with pytest.raises(ConfigError):
+            PageLayout(num_nodes=10, feature_bytes=0)
+
+
+class TestFeatureStore:
+    def test_synthetic_shape_and_range(self):
+        store = FeatureStore(100, 64)
+        x = store.fetch(np.array([0, 50, 99]))
+        assert x.shape == (3, 64)
+        assert x.dtype == np.float32
+        assert np.all(x >= -1.0) and np.all(x < 1.0)
+
+    def test_synthetic_deterministic(self):
+        a = FeatureStore(100, 64).fetch(np.array([3, 7]))
+        b = FeatureStore(100, 64).fetch(np.array([3, 7]))
+        assert np.array_equal(a, b)
+
+    def test_synthetic_seed_changes_values(self):
+        a = FeatureStore(100, 64, seed=0).fetch(np.array([3]))
+        b = FeatureStore(100, 64, seed=1).fetch(np.array([3]))
+        assert not np.array_equal(a, b)
+
+    def test_synthetic_rows_differ(self):
+        x = FeatureStore(100, 64).fetch(np.array([1, 2]))
+        assert not np.array_equal(x[0], x[1])
+
+    def test_synthetic_values_well_distributed(self):
+        x = FeatureStore(1000, 32).fetch(np.arange(1000))
+        assert abs(float(x.mean())) < 0.05
+        assert 0.45 < float(x.std()) < 0.7  # uniform on [-1,1): std ~0.577
+
+    def test_materialized_roundtrip(self):
+        data = np.random.default_rng(0).random((10, 4), dtype=np.float32)
+        store = FeatureStore(10, 4, data=data)
+        assert store.is_materialized
+        assert np.array_equal(store.fetch(np.array([2, 5])), data[[2, 5]])
+
+    def test_materialized_shape_checked(self):
+        with pytest.raises(StorageError):
+            FeatureStore(10, 4, data=np.zeros((10, 5), dtype=np.float32))
+
+    def test_fetch_out_of_range(self):
+        store = FeatureStore(10, 4)
+        with pytest.raises(StorageError):
+            store.fetch(np.array([10]))
+        with pytest.raises(StorageError):
+            store.fetch(np.array([-1]))
+
+    def test_fetch_empty(self):
+        store = FeatureStore(10, 4)
+        assert store.fetch(np.array([], dtype=np.int64)).shape == (0, 4)
+
+    def test_sizes(self):
+        store = FeatureStore(10, 1024)
+        assert store.feature_bytes == 4096
+        assert store.total_bytes == 40960
+
+    def test_layout_consistent(self):
+        store = FeatureStore(10, 1024)
+        assert store.layout.pages_per_node == 1
+        assert store.layout.num_nodes == 10
+
+    def test_invalid_construction(self):
+        with pytest.raises(StorageError):
+            FeatureStore(0, 4)
+        with pytest.raises(StorageError):
+            FeatureStore(4, 0)

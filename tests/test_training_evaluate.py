@@ -1,0 +1,143 @@
+"""Unit tests for evaluation utilities and the pipeline timeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.graph.generators import power_law_graph
+from repro.pipeline.metrics import IterationMetrics, RunReport, StageTimes
+from repro.pipeline.timeline import render_timeline
+from repro.sampling.neighbor import NeighborSampler
+from repro.sim.counters import TransferCounters
+from repro.storage.feature_store import FeatureStore
+from repro.training.evaluate import (
+    evaluate_accuracy,
+    synthetic_task_accuracy,
+    train_validation_split,
+)
+from repro.training.graphsage import GraphSAGE, synthetic_labels
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph = power_law_graph(300, 2500, seed=0)
+    sampler = NeighborSampler(graph, (4, 4), seed=1)
+    store = FeatureStore(300, 16)
+    return graph, sampler, store
+
+
+class TestEvaluateAccuracy:
+    def test_trained_model_beats_chance(self, world):
+        _, sampler, store = world
+        labels_all = synthetic_labels(store, np.arange(300), 4, seed=0)
+        model = GraphSAGE(16, 16, 4, num_layers=2, lr=0.1, seed=0)
+        train_ids = np.arange(200)
+        for _ in range(40):
+            batch = sampler.sample(train_ids)
+            feats = store.fetch(batch.input_nodes)
+            model.train_step(batch, feats, labels_all[batch.seeds])
+        held_out = np.arange(200, 300)
+        result = evaluate_accuracy(
+            model, sampler, store, held_out, labels_all[held_out]
+        )
+        assert result.total == 100
+        assert result.accuracy > 0.4  # well above the 0.25 chance level
+
+    def test_synthetic_task_wrapper(self, world):
+        _, sampler, store = world
+        model = GraphSAGE(16, 8, 4, num_layers=2, seed=0)
+        result = synthetic_task_accuracy(
+            model, sampler, store, np.arange(50), 4
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.total == 50
+
+    def test_batching_covers_all_nodes(self, world):
+        _, sampler, store = world
+        model = GraphSAGE(16, 8, 3, num_layers=2, seed=0)
+        result = synthetic_task_accuracy(
+            model, sampler, store, np.arange(130), 3, batch_size=32
+        )
+        assert result.total == 130
+
+    def test_misaligned_labels_rejected(self, world):
+        _, sampler, store = world
+        model = GraphSAGE(16, 8, 3, num_layers=2, seed=0)
+        with pytest.raises(PipelineError):
+            evaluate_accuracy(
+                model, sampler, store, np.arange(10), np.zeros(5, np.int64)
+            )
+
+    def test_empty_set_rejected(self, world):
+        _, sampler, store = world
+        model = GraphSAGE(16, 8, 3, num_layers=2, seed=0)
+        with pytest.raises(PipelineError):
+            evaluate_accuracy(
+                model, sampler, store,
+                np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+            )
+
+
+class TestSplit:
+    def test_partition_properties(self):
+        ids = np.arange(100)
+        train, val = train_validation_split(ids, validation_fraction=0.2)
+        assert len(train) == 80 and len(val) == 20
+        assert len(np.intersect1d(train, val)) == 0
+        assert sorted(np.concatenate([train, val])) == list(range(100))
+
+    def test_deterministic(self):
+        a = train_validation_split(np.arange(50), seed=3)
+        b = train_validation_split(np.arange(50), seed=3)
+        assert np.array_equal(a[0], b[0])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(PipelineError):
+            train_validation_split(np.arange(10), validation_fraction=1.0)
+
+    def test_too_few_nodes(self):
+        with pytest.raises(PipelineError):
+            train_validation_split(np.array([1]))
+
+
+class TestTimeline:
+    def _report(self, overlapped):
+        report = RunReport("X", overlapped=overlapped)
+        for _ in range(4):
+            report.append(
+                IterationMetrics(
+                    times=StageTimes(
+                        sampling=0.001, aggregation=0.003, transfer=0.0,
+                        training=0.004,
+                    ),
+                    num_seeds=8,
+                    num_input_nodes=50,
+                    num_sampled=80,
+                    num_edges=60,
+                    counters=TransferCounters(),
+                )
+            )
+        return report
+
+    def test_renders_two_lanes(self):
+        text = render_timeline(self._report(True))
+        assert "prep  |" in text
+        assert "train |" in text
+
+    def test_overlap_shortens_total(self):
+        serial = render_timeline(self._report(False))
+        overlapped = render_timeline(self._report(True))
+
+        def total_ms(text):
+            # "... over 16.000 ms (serial)"
+            return float(text.splitlines()[0].split(" over ")[1].split()[0])
+
+        assert total_ms(overlapped) < total_ms(serial)
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(PipelineError):
+            render_timeline(RunReport("X"))
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(PipelineError):
+            render_timeline(self._report(True), width=10)

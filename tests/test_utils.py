@@ -1,0 +1,87 @@
+"""Unit tests for repro.utils."""
+
+import numpy as np
+import pytest
+
+from repro.utils import as_rng, ceil_div, format_bytes, format_rate, format_time
+
+
+class TestAsRng:
+    def test_from_int_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, size=5)
+        b = as_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert format_bytes(4096) == "4.1 KB"
+
+    def test_gigabytes(self):
+        assert format_bytes(8e9) == "8.0 GB"
+
+    def test_terabytes(self):
+        assert format_bytes(2.773e12) == "2.8 TB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatTime:
+    def test_seconds(self):
+        assert format_time(1.5) == "1.500 s"
+
+    def test_milliseconds(self):
+        assert format_time(0.0123) == "12.300 ms"
+
+    def test_microseconds(self):
+        assert format_time(11e-6) == "11.000 us"
+
+    def test_nanoseconds(self):
+        assert format_time(5e-9) == "5.0 ns"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-0.1)
+
+
+class TestFormatRate:
+    def test_millions(self):
+        assert format_rate(1.5e6) == "1.50M/s"
+
+    def test_small(self):
+        assert format_rate(3.0) == "3.00/s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_rate(-1.0)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_negative_dividend_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 4)
