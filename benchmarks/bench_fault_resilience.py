@@ -1,0 +1,210 @@
+"""Resilience sweep: fault rates x retry policies for GIDS vs BaM vs Ginex.
+
+Two experiments:
+
+* a grid of per-request failure rates crossed with retry policies, checking
+  that every loader completes and that modeled epoch time degrades
+  monotonically (within noise) as the fault rate rises;
+* the acceptance scenario — GIDS running a full epoch under a 1%
+  request-failure rate with one of its two SSDs dropping out mid-epoch —
+  verifying bounded slowdown and that retry/fallback counters surface in
+  the exported JSON report.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import (
+    INTEL_OPTANE,
+    BaMDataLoader,
+    DeviceEvent,
+    FaultPlan,
+    GIDSDataLoader,
+    GinexLoader,
+    LoaderConfig,
+    RetryPolicy,
+    SystemConfig,
+    load_scaled,
+)
+from repro.bench.tables import render_table
+from repro.pipeline.export import report_to_json
+from repro.utils import ceil_div
+
+FAULT_RATES = (0.0, 0.01, 0.05)
+POLICIES = {
+    "fast-fail": RetryPolicy(max_retries=1, backoff_base_s=20e-6),
+    "patient": RetryPolicy(max_retries=4, backoff_base_s=50e-6),
+}
+BATCH_SIZE = 64
+FANOUTS = (5, 5)
+ITERATIONS = 20
+
+
+def _dataset(scale=0.05):
+    return load_scaled("IGB-tiny", scale, seed=3)
+
+
+def _system(dataset, num_ssds=2):
+    # Memory tight enough that every loader — Ginex's Belady cache
+    # included — has real storage-miss pressure, so injected faults
+    # actually land on in-flight reads.
+    return SystemConfig(
+        ssd=INTEL_OPTANE,
+        num_ssds=num_ssds,
+        cpu_memory_limit_bytes=(
+            dataset.structure_data_bytes + dataset.feature_data_bytes * 0.15
+        ),
+    )
+
+
+def _config(dataset):
+    return LoaderConfig(
+        gpu_cache_bytes=dataset.feature_data_bytes * 0.05,
+        cpu_buffer_fraction=0.10,
+        window_depth=4,
+    )
+
+
+def _build(kind, dataset, system, config, plan, policy):
+    common = dict(batch_size=BATCH_SIZE, fanouts=FANOUTS, seed=1)
+    if kind == "GIDS":
+        return GIDSDataLoader(
+            dataset, system, config,
+            fault_plan=plan, retry_policy=policy, **common,
+        )
+    if kind == "BaM":
+        return BaMDataLoader(
+            dataset, system, config,
+            fault_plan=plan, retry_policy=policy, **common,
+        )
+    return GinexLoader(
+        dataset, system, fault_plan=plan, retry_policy=policy, **common
+    )
+
+
+def sweep_fault_rates():
+    """e2e seconds per (loader, fault_rate, policy) cell."""
+    dataset = _dataset()
+    system = _system(dataset)
+    config = _config(dataset)
+    extras = {}
+    for kind in ("GIDS", "BaM", "Ginex"):
+        for policy_name, policy in POLICIES.items():
+            for rate in FAULT_RATES:
+                plan = (
+                    None
+                    if rate == 0.0
+                    else FaultPlan(seed=11, read_failure_rate=rate)
+                )
+                loader = _build(kind, dataset, system, config, plan, policy)
+                warmup = 20 if kind == "Ginex" else 5
+                report = loader.run(ITERATIONS, warmup=warmup)
+                extras[(kind, rate, policy_name)] = report
+    return extras
+
+
+def test_fault_rate_sweep(benchmark):
+    extras = benchmark.pedantic(sweep_fault_rates, rounds=1, iterations=1)
+    rows = []
+    for (kind, rate, policy), report in sorted(
+        extras.items(), key=lambda kv: (kv[0][0], kv[0][2], kv[0][1])
+    ):
+        counters = report.counters
+        rows.append(
+            [
+                kind, f"{rate:.0%}", policy,
+                f"{report.e2e_time * 1e3:.3f}",
+                counters.storage_retries,
+                counters.fallback_requests,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["loader", "fault rate", "policy", "e2e ms", "retries",
+             "fallbacks"],
+            rows,
+            title="Fault-rate x retry-policy resilience sweep",
+        )
+    )
+    for kind in ("GIDS", "BaM", "Ginex"):
+        for policy_name in POLICIES:
+            # Throughput must degrade (time must not shrink) as the
+            # injected fault rate rises; tiny tolerance for stochastic
+            # retry draws.
+            times = [
+                extras[(kind, rate, policy_name)].e2e_time
+                for rate in FAULT_RATES
+            ]
+            for slower, faster in zip(times[1:], times[:-1]):
+                assert slower >= faster * 0.999, (kind, policy_name, times)
+            # Every faulted cell recorded its injected faults, and retries
+            # only happen once faults are injected.
+            faulted = extras[(kind, FAULT_RATES[-1], policy_name)].counters
+            if faulted.storage_requests:
+                assert faulted.injected_faults > 0, (kind, policy_name)
+
+
+def run_epoch_with_dropout():
+    """The acceptance scenario: 1% failures + mid-epoch 1-of-2-SSD dropout.
+
+    Both runs use ``warmup=0`` so that the simulated clock of the faulty
+    run starts at zero and the dropout — placed at half the healthy
+    epoch's modeled time — really lands mid-epoch.  A larger dataset
+    scale and small batch give the epoch enough iterations for the clock
+    to cross the event.
+    """
+    dataset = _dataset(scale=0.25)
+    system = _system(dataset, num_ssds=2)
+    config = _config(dataset)
+    batch_size = 16
+    epoch_iters = ceil_div(len(dataset.train_ids), batch_size)
+
+    def build(plan):
+        return GIDSDataLoader(
+            dataset, system, config,
+            batch_size=batch_size, fanouts=FANOUTS, seed=1,
+            fault_plan=plan,
+        )
+
+    healthy_report = build(None).run(epoch_iters, warmup=0)
+    plan = FaultPlan(
+        seed=13,
+        read_failure_rate=0.01,
+        device_events=(
+            DeviceEvent(
+                device=1,
+                kind="dropout",
+                at_time_s=healthy_report.e2e_time / 2,
+            ),
+        ),
+    )
+    faulty_report = build(plan).run(epoch_iters, warmup=0)
+    return healthy_report, faulty_report
+
+
+def test_gids_epoch_survives_faults_and_dropout(benchmark):
+    healthy, faulty = benchmark.pedantic(
+        run_epoch_with_dropout, rounds=1, iterations=1
+    )
+    # The epoch completes: every iteration produced metrics, no crash.
+    assert faulty.num_iterations == healthy.num_iterations
+    # Bounded slowdown: losing one of two SSDs plus 1% failed reads may
+    # cost time, but the run must stay the same order of magnitude.
+    slowdown = faulty.e2e_time / healthy.e2e_time
+    assert 1.0 <= slowdown < 5.0, slowdown
+    # Resilience is observable end-to-end in the exported JSON.
+    exported = json.loads(report_to_json(faulty))
+    assert exported["faults"]["storage_retries"] > 0
+    assert exported["faults"]["fallback_requests"] > 0
+    assert exported["faults"]["injected_faults"] > 0
+    summary = faulty.resilience_summary()
+    print()
+    print(
+        f"epoch of {faulty.num_iterations} iterations: "
+        f"slowdown {slowdown:.2f}x, "
+        f"{summary['storage_retries']} retries, "
+        f"{summary['fallback_requests']} fallback reads "
+        f"({summary['fallback_fraction']:.1%})"
+    )

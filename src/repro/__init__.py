@@ -34,11 +34,20 @@ from .errors import (
     CapacityError,
     ConfigError,
     DatasetError,
+    FaultError,
     GraphError,
     PipelineError,
     ReproError,
+    RetryExhaustedError,
     SamplingError,
     StorageError,
+)
+from .faults import (
+    DeviceEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultySSDArray,
+    RetryPolicy,
 )
 from .graph import (
     DATASETS,
@@ -112,11 +121,19 @@ __all__ = [
     "CapacityError",
     "ConfigError",
     "DatasetError",
+    "FaultError",
     "GraphError",
     "PipelineError",
     "ReproError",
+    "RetryExhaustedError",
     "SamplingError",
     "StorageError",
+    # fault injection & resilience
+    "DeviceEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultySSDArray",
+    "RetryPolicy",
     # graphs & datasets
     "DATASETS",
     "CSRGraph",

@@ -23,6 +23,7 @@ import numpy as np
 from ..cache.belady import BeladyCache
 from ..config import SystemConfig
 from ..errors import ConfigError
+from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..graph.datasets import ScaledDataset
 from ..pipeline.metrics import IterationMetrics, RunReport, StageTimes
 from ..sampling.minibatch import MiniBatch
@@ -69,6 +70,8 @@ class GinexLoader:
         io_queue_depth: int = 2,
         features: np.ndarray | None = None,
         seed: int | np.random.Generator | None = 0,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if dataset.hetero is not None:
             raise ConfigError(
@@ -101,12 +104,27 @@ class GinexLoader:
         self.cache = BeladyCache(
             capacity_pages=int(free_bytes // self.layout.page_bytes)
         )
+        self._io_queue_depth = io_queue_depth
         self._io_rate = self._io_cpu.async_io_rate(
             system.ssd,
             system.num_ssds,
             queue_depth_per_thread=io_queue_depth,
         )
         self._seed_stream = self._seed_batches()
+
+        # Fault injection mirrors the GPU-initiated loaders: CPU-issued
+        # async reads suffer the same failure/spike rates and device
+        # events; retries and backoff are charged to the aggregation stage.
+        self.fault_plan = fault_plan
+        self.faults: FaultInjector | None = None
+        self._sim_now_s = 0.0
+        if fault_plan is not None and not fault_plan.is_null():
+            self.faults = FaultInjector(fault_plan, retry_policy)
+            if fault_plan.pcie_degradation_factor > 1.0:
+                self.pcie = PCIeLink(
+                    system.pcie,
+                    degradation_factor=fault_plan.pcie_degradation_factor,
+                )
 
     def _seed_batches(self) -> Iterator[np.ndarray]:
         while True:
@@ -143,7 +161,8 @@ class GinexLoader:
 
             n_nodes = batch.num_input_nodes
             sampling_time = self.cpu.sampling_time(batch.num_sampled)
-            io_time = it_misses / self._io_rate
+            io_time, counters = self._serve_misses(it_misses)
+            counters.page_cache_hits = it_hits
             gather_time = (
                 self.cpu.gather_time_resident(n_nodes)
                 + planning_time_total * share
@@ -160,11 +179,6 @@ class GinexLoader:
                 transfer=self.pcie.transfer_time(feature_bytes),
                 training=self.gpu.training_time(n_nodes),
             )
-            counters = TransferCounters(
-                storage_requests=it_misses,
-                storage_bytes=it_misses * self.layout.page_bytes,
-                page_cache_hits=it_hits,
-            )
             metrics.append(
                 IterationMetrics(
                     times=times,
@@ -175,7 +189,71 @@ class GinexLoader:
                     counters=counters,
                 )
             )
+        self._sim_now_s += sum(m.times.total for m in metrics)
         return batches, metrics
+
+    def _serve_misses(self, it_misses: int) -> tuple[float, TransferCounters]:
+        """Model feature I/O for one iteration's cache misses.
+
+        Healthy path: ``misses / io_rate``.  Under a fault plan the misses
+        on dropped-out devices fall back to a CPU-resident gather, failed
+        reads are retried with backoff, and the async I/O rate is
+        re-derived from the surviving device count.
+        """
+        page_bytes = self.layout.page_bytes
+        if self.faults is None:
+            return it_misses / self._io_rate, TransferCounters(
+                storage_requests=it_misses,
+                storage_bytes=it_misses * page_bytes,
+            )
+
+        active, _ = self.faults.device_states(
+            self._sim_now_s, self.system.num_ssds
+        )
+        n_active = int(active.sum())
+        n_lost = (
+            it_misses
+            if n_active == 0
+            else int(round(it_misses * (1.0 - n_active / self.system.num_ssds)))
+        )
+        n_storage = it_misses - n_lost
+        outcome = self.faults.resolve_batch(n_storage)
+        n_spiked = self.faults.spike_count(n_storage)
+        n_fallback = n_lost + outcome.unrecovered
+        delivered = n_storage - outcome.unrecovered
+
+        io_time = outcome.backoff_s
+        if n_storage:
+            io_rate = self._io_cpu.async_io_rate(
+                self.system.ssd,
+                n_active,
+                queue_depth_per_thread=self._io_queue_depth,
+            )
+            io_time += (n_storage + outcome.retries) / io_rate
+            # A spiked read occupies one in-flight I/O slot for the extra
+            # latencies; the window absorbs it across its whole depth.
+            in_flight = max(1, self._io_cpu.threads * self._io_queue_depth)
+            io_time += (
+                n_spiked
+                * (self.faults.plan.tail_latency_multiplier - 1.0)
+                * self.system.ssd.read_latency_s
+                / in_flight
+            )
+        # Lost/unrecovered pages are gathered from the CPU-resident
+        # feature mirror instead.
+        io_time += self.cpu.gather_time_resident(n_fallback)
+
+        counters = TransferCounters(
+            storage_requests=n_storage,
+            storage_bytes=delivered * page_bytes,
+            storage_retries=outcome.retries,
+            injected_faults=outcome.injected_failures,
+            latency_spikes=n_spiked,
+            fallback_requests=n_fallback,
+            fallback_bytes=n_fallback * page_bytes,
+            retry_timeouts=1 if outcome.timed_out else 0,
+        )
+        return io_time, counters
 
     def run(self, num_iterations: int, *, warmup: int = 100) -> RunReport:
         """Warm the Belady cache, then measure ``num_iterations``."""

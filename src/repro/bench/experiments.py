@@ -9,7 +9,7 @@ call them directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,13 +23,13 @@ from ..config import (
 )
 from ..core.bam import BaMDataLoader
 from ..core.gids import GIDSDataLoader
-from ..graph.datasets import DATASETS, get_dataset_spec
+from ..graph.datasets import get_dataset_spec
 from ..sim.cpu import CPUModel
 from ..sim.gpu import GPUModel
 from ..sim.ssd import SSDArray, SSDMicrobench
 from ..utils import format_bytes
 from .tables import render_table
-from .workloads import Workload, get_workload
+from .workloads import get_workload
 
 #: Iterations measured per loader run (the paper measures 100 at full
 #: scale; 40 keeps every benchmark in seconds at our scale).

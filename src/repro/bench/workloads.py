@@ -27,7 +27,6 @@ import numpy as np
 
 from ..config import (
     INTEL_OPTANE,
-    SAMSUNG_980PRO,
     LoaderConfig,
     SSDSpec,
     SystemConfig,

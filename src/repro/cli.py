@@ -4,7 +4,8 @@ Commands:
 
 * ``datasets`` — print the dataset registry (Tables 2-3).
 * ``run`` — run one or all dataloaders on a scaled workload and print a
-  comparison (optionally JSON/CSV).
+  comparison (optionally JSON/CSV); ``--fault-plan plan.json`` injects
+  storage faults and reports the retry/fallback counters.
 * ``figure`` — regenerate one paper figure/table by name.
 * ``train`` — functional GraphSAGE training through the GIDS loader.
 * ``ssd-model`` — print the Eq. 2-3 bandwidth model for an SSD.
@@ -68,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--iterations", type=int, default=40)
     run.add_argument("--format", choices=["table", "json", "csv"],
                      default="table")
+    run.add_argument(
+        "--fault-plan",
+        metavar="JSON_PATH",
+        default=None,
+        help="inject storage faults from a FaultPlan JSON file "
+        "(read failures, tail spikes, device dropout, PCIe degradation)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -126,6 +134,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     common = dict(
         batch_size=workload.batch_size, fanouts=workload.fanouts, seed=1
     )
+    fault_plan = None
+    if args.fault_plan is not None:
+        from .faults import FaultPlan
+
+        fault_plan = FaultPlan.from_json_file(args.fault_plan)
 
     heterogeneous = workload.dataset.hetero is not None
     selected = (
@@ -138,11 +151,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if kind == "gids":
             loader = GIDSDataLoader(
                 workload.dataset, system, config,
-                hot_nodes=workload.hot_nodes, **common,
+                hot_nodes=workload.hot_nodes, fault_plan=fault_plan,
+                **common,
             )
             reports.append(loader.run(args.iterations, warmup=10))
         elif kind == "bam":
-            loader = BaMDataLoader(workload.dataset, system, config, **common)
+            loader = BaMDataLoader(
+                workload.dataset, system, config, fault_plan=fault_plan,
+                **common,
+            )
             reports.append(loader.run(args.iterations, warmup=10))
         elif kind == "ginex":
             if heterogeneous:
@@ -151,9 +168,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 continue
-            loader = GinexLoader(workload.dataset, system, **common)
+            loader = GinexLoader(
+                workload.dataset, system, fault_plan=fault_plan, **common
+            )
             reports.append(loader.run(args.iterations, warmup=150))
         else:
+            if fault_plan is not None:
+                print(
+                    "note: the mmap loader has no fault-injection path; "
+                    "running it healthy",
+                    file=sys.stderr,
+                )
             loader = DGLMmapLoader(workload.dataset, system, **common)
             reports.append(loader.run(args.iterations, warmup=150))
 

@@ -14,7 +14,7 @@ from the GIDS paper (Table 1, Section 4.1 and 4.2, Figure 3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .errors import ConfigError
 

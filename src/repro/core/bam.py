@@ -19,7 +19,13 @@ from .gids import GIDSDataLoader
 
 
 class BaMDataLoader(GIDSDataLoader):
-    """Plain-BaM dataloader (GPU cache only, per-iteration storage batches)."""
+    """Plain-BaM dataloader (GPU cache only, per-iteration storage batches).
+
+    Accepts the same ``fault_plan``/``retry_policy`` keywords as the GIDS
+    loader: both share the storage-path fault injection, retry/backoff and
+    degraded-mode fallback, so resilience benchmarks compare the loaders
+    under identical fault sequences.
+    """
 
     name = "BaM"
 

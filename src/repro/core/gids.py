@@ -29,6 +29,7 @@ from ..cache.cpu_buffer import ConstantCPUBuffer
 from ..cache.gpu_cache import GPUSoftwareCache
 from ..config import LoaderConfig, SystemConfig
 from ..errors import ConfigError
+from ..faults import FaultInjector, FaultPlan, FaultySSDArray, RetryPolicy
 from ..graph.datasets import ScaledDataset
 from ..graph.pagerank import hot_node_ranking
 from ..pipeline.metrics import IterationMetrics, RunReport, StageTimes
@@ -42,6 +43,29 @@ from ..sim.pcie import PCIeLink
 from ..sim.ssd import SSDArray
 from ..storage.feature_store import FeatureStore
 from ..utils import as_rng
+
+
+def apportion(total: int, weights: list[int]) -> list[int]:
+    """Split ``total`` units across ``weights`` proportionally (ints, exact).
+
+    Largest-remainder rounding: the result sums to ``total`` exactly, which
+    keeps per-iteration fault counters consistent with the group-level
+    draw.  All-zero weights split as evenly as possible.
+    """
+    if total < 0:
+        raise ConfigError("total must be non-negative")
+    if not weights:
+        return []
+    w = np.asarray(weights, dtype=np.float64)
+    if w.sum() == 0:
+        w = np.ones(len(weights))
+    raw = w / w.sum() * total
+    out = np.floor(raw).astype(np.int64)
+    remainder = total - int(out.sum())
+    order = np.argsort(-(raw - out), kind="stable")
+    for i in range(remainder):
+        out[order[i]] += 1
+    return out.tolist()
 
 
 class GIDSDataLoader:
@@ -64,7 +88,14 @@ class GIDSDataLoader:
             (DGL dataloader plumbing, kernel setup) — the stop-and-go
             boundary the accumulator amortizes away.
         features: optional materialized feature matrix (functional training).
-        seed: RNG seed for sampling, shuffling and cache eviction.
+        seed: RNG seed for sampling, shuffling and cache eviction.  The
+            fault injector never shares this stream — fault draws come from
+            the plan's own seed, so a fault plan cannot perturb sampling.
+        fault_plan: optional fault-injection scenario (read failures, tail
+            spikes, device dropout/slowdown/recovery, PCIe degradation).
+            ``None`` or a null plan leaves every modeled time bit-identical
+            to a loader without fault support.
+        retry_policy: overrides the plan's embedded retry policy.
     """
 
     name = "GIDS"
@@ -84,6 +115,8 @@ class GIDSDataLoader:
         features: np.ndarray | None = None,
         hot_nodes: np.ndarray | None = None,
         seed: int | np.random.Generator | None = 0,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if framework_overhead_s < 0:
             raise ConfigError("framework overhead must be non-negative")
@@ -101,6 +134,22 @@ class GIDSDataLoader:
         self.ssd = SSDArray(system.ssd, system.num_ssds)
         self.pcie = PCIeLink(system.pcie)
         self.gpu = GPUModel(system.gpu)
+
+        # Fault machinery is strictly pay-for-what-you-use: with no plan
+        # (or a null one) none of the branches below ever fire and the
+        # modeled times are bit-identical to a loader without fault support.
+        self.fault_plan = fault_plan
+        self.faults: FaultInjector | None = None
+        self.fault_array: FaultySSDArray | None = None
+        self._sim_now_s = 0.0
+        if fault_plan is not None and not fault_plan.is_null():
+            self.faults = FaultInjector(fault_plan, retry_policy)
+            self.fault_array = FaultySSDArray(self.ssd, self.faults)
+            if fault_plan.pcie_degradation_factor > 1.0:
+                self.pcie = PCIeLink(
+                    system.pcie,
+                    degradation_factor=fault_plan.pcie_degradation_factor,
+                )
 
         self.sampler = self._build_sampler(
             sampler_kind, fanouts, layer_sizes, hetero_fanouts
@@ -197,8 +246,12 @@ class GIDSDataLoader:
             return None
         from .accumulator import DynamicAccessAccumulator
 
+        # Under fault injection the accumulator sees the degradable array
+        # view, so after a dropout it re-solves Eq. 2-3 against the
+        # survivors' (lower) collective peak IOPS.
+        array = self.fault_array if self.fault_array is not None else self.ssd
         return DynamicAccessAccumulator(
-            array=self.ssd,
+            array=array,
             target_fraction=self.config.accumulator_target,
             max_merged_iterations=self.config.max_merged_iterations,
         )
@@ -268,33 +321,60 @@ class GIDSDataLoader:
         """Serve one merged group's feature requests and model its time."""
         page_bytes = self.layout.page_bytes
         feature_bytes = self.store.feature_bytes
+        faults = self.faults
+        array = self.ssd
+        if faults is not None:
+            self.fault_array.advance_to(self._sim_now_s)
+            array = self.fault_array
+
         per_entry: list[TransferCounters] = []
         for entry in group:
             n_buffer_nodes, _ = entry.payload
             hit_mask = self.cache.access(entry.pages)
             n_hits = int(hit_mask.sum())
             n_miss = len(entry.pages) - n_hits
+            n_lost = 0
+            if faults is not None and n_miss:
+                # Pages homed on a dropped-out device are known-lost: they
+                # skip storage and fall back to the feature-store path.
+                miss_pages = entry.pages[~hit_mask]
+                n_lost = int(self.fault_array.lost_page_mask(miss_pages).sum())
+            n_storage = n_miss - n_lost
             per_entry.append(
                 TransferCounters(
-                    storage_requests=n_miss,
-                    storage_bytes=n_miss * page_bytes,
+                    storage_requests=n_storage,
+                    storage_bytes=n_storage * page_bytes,
                     cpu_buffer_requests=n_buffer_nodes,
                     cpu_buffer_bytes=n_buffer_nodes * feature_bytes,
                     gpu_cache_hits=n_hits,
                     gpu_cache_bytes=n_hits * page_bytes,
+                    fallback_requests=n_lost,
+                    fallback_bytes=n_lost * page_bytes,
                 )
             )
 
         total_storage_pages = sum(c.storage_requests for c in per_entry)
-        total_storage_bytes = sum(c.storage_bytes for c in per_entry)
         total_cpu_bytes = sum(c.cpu_buffer_bytes for c in per_entry)
         total_hbm_bytes = sum(c.gpu_cache_bytes for c in per_entry)
 
-        storage_time = self.framework_overhead_s + self.ssd.batch_service_time(
-            total_storage_pages
+        service_requests = total_storage_pages
+        fault_extra_time = 0.0
+        if faults is not None:
+            fault_extra_time, service_requests = self._resolve_group_faults(
+                per_entry, total_storage_pages, array
+            )
+        total_storage_bytes = sum(c.storage_bytes for c in per_entry)
+        total_fallback_bytes = sum(c.fallback_bytes for c in per_entry)
+
+        storage_time = (
+            self.framework_overhead_s
+            + array.batch_service_time(service_requests)
+            + fault_extra_time
         )
         group_time = self.pcie.ingress_time(
-            total_storage_bytes, storage_time, total_cpu_bytes
+            total_storage_bytes,
+            storage_time,
+            total_cpu_bytes + total_fallback_bytes,
         ) + self.gpu.hbm_read_time(total_hbm_bytes)
 
         if self.accumulator is not None:
@@ -331,7 +411,49 @@ class GIDSDataLoader:
                     counters=counters,
                 )
             )
+        # Advance the simulated clock so time-triggered device events
+        # (dropout/recovery) fire at the right point of the run.
+        self._sim_now_s += sum(m.times.total for m in metrics)
         return metrics
+
+    def _resolve_group_faults(
+        self, per_entry: list[TransferCounters], total_storage_pages: int, array
+    ) -> tuple[float, int]:
+        """Run the failure/retry/spike process for one merged storage batch.
+
+        Mutates the per-iteration counters in place (retries, injected
+        faults, unrecovered reads re-routed to the fallback path) and
+        returns ``(extra_elapsed_seconds, service_requests)`` where
+        ``service_requests`` includes re-issued commands — retried reads
+        occupy device service exactly like fresh ones.
+        """
+        faults = self.faults
+        page_bytes = self.layout.page_bytes
+        outcome = faults.resolve_batch(total_storage_pages)
+        n_spiked = faults.spike_count(total_storage_pages)
+        extra_time = outcome.backoff_s + array.tail_extra_time(n_spiked)
+
+        weights = [c.storage_requests for c in per_entry]
+        for counters, injected, retries, unrecovered, spikes in zip(
+            per_entry,
+            apportion(outcome.injected_failures, weights),
+            apportion(outcome.retries, weights),
+            apportion(outcome.unrecovered, weights),
+            apportion(n_spiked, weights),
+        ):
+            counters.injected_faults += injected
+            counters.storage_retries += retries
+            counters.latency_spikes += spikes
+            if unrecovered:
+                # Reads that exhausted the retry policy (or its time
+                # budget) are served by the feature-store fallback; their
+                # bytes never arrive from storage.
+                counters.storage_bytes -= unrecovered * page_bytes
+                counters.fallback_requests += unrecovered
+                counters.fallback_bytes += unrecovered * page_bytes
+        if outcome.timed_out and per_entry:
+            per_entry[0].retry_timeouts += 1
+        return extra_time, total_storage_pages + outcome.retries
 
     # ------------------------------------------------------------------
     # Public API

@@ -38,3 +38,11 @@ class PipelineError(ReproError):
 
 class StorageError(ReproError):
     """A feature-store access referenced nodes outside the stored table."""
+
+
+class FaultError(ReproError):
+    """An injected hardware fault could not be absorbed by the storage stack."""
+
+
+class RetryExhaustedError(FaultError):
+    """Storage reads kept failing after the retry policy's final attempt."""

@@ -1,0 +1,32 @@
+"""Fault injection and resilience for the simulated storage stack.
+
+This package models what the paper's evaluation never had to face: reads
+that fail, devices whose tail latency explodes, SSDs that drop out of the
+array mid-epoch, and PCIe links that degrade.  A declarative
+:class:`FaultPlan` (JSON-round-trippable, driveable from the CLI via
+``--fault-plan``) is executed by a seeded :class:`FaultInjector`;
+:class:`RetryPolicy` bounds the recovery work in *modeled* time, and
+:class:`FaultySSDArray` lets the Eq. 2-3 analytic machinery — including
+the dynamic storage access accumulator — re-solve itself against whatever
+hardware is still alive.
+
+Everything is pay-for-what-you-use: with a null plan no random numbers
+are drawn and modeled times are bit-identical to a run without the fault
+machinery.
+"""
+
+from .plan import DEVICE_EVENT_KINDS, DeviceEvent, FaultPlan
+from .retry import RetryPolicy
+from .injector import BatchFaultOutcome, FaultInjector, FaultStats
+from .array import FaultySSDArray
+
+__all__ = [
+    "DEVICE_EVENT_KINDS",
+    "BatchFaultOutcome",
+    "DeviceEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultySSDArray",
+    "RetryPolicy",
+]

@@ -1,0 +1,161 @@
+"""A degradable view of an :class:`~repro.sim.ssd.SSDArray`.
+
+The analytic SSD array is a frozen value object; real arrays change state
+over time.  :class:`FaultySSDArray` wraps a base array plus a
+:class:`~repro.faults.injector.FaultInjector` and presents the same
+Eq. 2-3 API, re-derived at the current simulated time from the devices
+that are still alive (and their slowdown factors).  On a dropout the
+survivors absorb the stripe — collective peak IOPS shrinks, so the
+dynamic storage access accumulator (which reads
+:meth:`required_overlapping` through this view) automatically re-solves
+its threshold against the reduced peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SSDSpec
+from ..errors import FaultError
+from ..sim.ssd import SSDArray
+from .injector import FaultInjector
+
+
+class FaultySSDArray:
+    """Time-varying facade over a fixed SSD array.
+
+    Args:
+        base: the healthy array.
+        injector: source of whole-device events and tail-spike draws.
+    """
+
+    def __init__(self, base: SSDArray, injector: FaultInjector) -> None:
+        self.base = base
+        self.injector = injector
+        self.now_s = 0.0
+        self._cache_key: tuple | None = None
+        self._cache_array: SSDArray | None = None
+
+    def advance_to(self, now_s: float) -> None:
+        """Move the view's simulated clock forward."""
+        if now_s < 0:
+            raise FaultError("simulated time cannot be negative")
+        self.now_s = now_s
+
+    # ------------------------------------------------------------------
+    # Device state
+
+    def device_states(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(active, slowdown_factor)`` per device at the current time."""
+        return self.injector.device_states(self.now_s, self.base.num_ssds)
+
+    @property
+    def num_active(self) -> int:
+        active, _ = self.device_states()
+        return int(active.sum())
+
+    def lost_page_mask(self, pages: np.ndarray) -> np.ndarray:
+        """Pages whose home device is currently dropped out."""
+        return self.injector.lost_page_mask(
+            pages, self.now_s, self.base.num_ssds
+        )
+
+    def effective(self) -> SSDArray:
+        """The Eq. 2-3 array describing the surviving devices.
+
+        Slowdowns scale a device's latency up and its peak IOPS down by
+        the event factor; survivors are aggregated into an equivalent
+        homogeneous array.  Raises :class:`FaultError` when no device is
+        alive — callers must route everything to the fallback path first.
+        """
+        active, factors = self.device_states()
+        key = (active.tobytes(), factors.tobytes())
+        if key == self._cache_key and self._cache_array is not None:
+            return self._cache_array
+        n_active = int(active.sum())
+        if n_active == 0:
+            raise FaultError("all SSDs in the array have dropped out")
+        live_factors = factors[active]
+        spec = self.base.spec
+        if (live_factors == 1.0).all() and n_active == self.base.num_ssds:
+            array = self.base
+        else:
+            total_iops = float((spec.peak_iops / live_factors).sum())
+            mean_factor = float(live_factors.mean())
+            eff_spec = SSDSpec(
+                name=f"{spec.name} (degraded)",
+                read_latency_s=spec.read_latency_s * mean_factor,
+                peak_iops=total_iops / n_active,
+                page_bytes=spec.page_bytes,
+            )
+            array = SSDArray(
+                eff_spec,
+                n_active,
+                t_init_extra_s=self.base.t_init_extra_s,
+                t_term_s=self.base.t_term_s,
+            )
+        self._cache_key = key
+        self._cache_array = array
+        return array
+
+    # ------------------------------------------------------------------
+    # SSDArray API (delegated to the effective array)
+
+    @property
+    def spec(self) -> SSDSpec:
+        return self.effective().spec
+
+    @property
+    def num_ssds(self) -> int:
+        return self.effective().num_ssds
+
+    @property
+    def t_init_s(self) -> float:
+        return self.effective().t_init_s
+
+    @property
+    def peak_iops(self) -> float:
+        return self.effective().peak_iops
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.effective().peak_bandwidth
+
+    def batch_service_time(self, n_requests: int) -> float:
+        if n_requests == 0:
+            # Valid even with every device dropped out: nothing to read.
+            return 0.0
+        return self.effective().batch_service_time(n_requests)
+
+    def achieved_iops(self, n_overlapping: float) -> float:
+        return self.effective().achieved_iops(n_overlapping)
+
+    def achieved_bandwidth(self, n_overlapping: float) -> float:
+        return self.effective().achieved_bandwidth(n_overlapping)
+
+    def required_overlapping(self, target_fraction: float) -> int:
+        if self.num_active == 0:
+            # With no device alive every read falls back to the CPU path;
+            # the healthy threshold keeps the accumulator well-defined.
+            return self.base.required_overlapping(target_fraction)
+        return self.effective().required_overlapping(target_fraction)
+
+    # ------------------------------------------------------------------
+    # Fault-time extras
+
+    def tail_extra_time(self, n_spiked: int) -> float:
+        """Extra elapsed time from ``n_spiked`` tail-latency requests.
+
+        A spiked request occupies its device service slot for
+        ``(multiplier - 1)`` extra latencies; the array's aggregate
+        internal parallelism absorbs that occupancy, so the elapsed-time
+        cost is the extra busy time divided across all live slots.
+        """
+        if n_spiked <= 0:
+            return 0.0
+        eff = self.effective()
+        extra_per_request = (
+            self.injector.plan.tail_latency_multiplier - 1.0
+        ) * eff.spec.read_latency_s
+        slots = max(1.0, eff.spec.internal_parallelism * eff.num_ssds)
+        return n_spiked * extra_per_request / slots

@@ -1,0 +1,238 @@
+"""Seeded fault injection: turning a :class:`FaultPlan` into concrete draws.
+
+The injector owns its *own* random stream, seeded from the plan — never
+from the loader's sampling RNG — so injecting faults can never perturb
+which nodes are sampled or which cache lines are evicted.  Two loaders
+with the same fault plan suffer byte-identical fault sequences regardless
+of their workload seeds, and a loader with a null plan consumes no random
+numbers at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, RetryExhaustedError
+from .plan import FaultPlan
+from .retry import RetryPolicy
+
+
+@dataclass
+class FaultStats:
+    """Cumulative fault/retry accounting kept by one injector."""
+
+    injected_failures: int = 0
+    retries: int = 0
+    unrecovered: int = 0
+    latency_spikes: int = 0
+    timeouts: int = 0
+
+    def merge(self, other: "FaultStats") -> None:
+        self.injected_failures += other.injected_failures
+        self.retries += other.retries
+        self.unrecovered += other.unrecovered
+        self.latency_spikes += other.latency_spikes
+        self.timeouts += other.timeouts
+
+
+@dataclass(frozen=True)
+class BatchFaultOutcome:
+    """Resolved fault process for one batch of storage requests.
+
+    ``retries`` counts re-issued commands (each occupies device service
+    like a fresh request); ``backoff_s`` is the modeled wall time spent
+    waiting between attempts; ``unrecovered`` requests exhausted the retry
+    policy (or its time budget) and must be served by the fallback path.
+    """
+
+    attempted: int = 0
+    injected_failures: int = 0
+    retries: int = 0
+    unrecovered: int = 0
+    backoff_s: float = 0.0
+    timed_out: bool = False
+
+
+class FaultInjector:
+    """Stochastic fault source driven by a :class:`FaultPlan`.
+
+    Args:
+        plan: the fault scenario.
+        policy: retry policy override; defaults to the plan's embedded
+            policy.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, policy: RetryPolicy | None = None
+    ) -> None:
+        self.plan = plan
+        self.policy = policy if policy is not None else plan.retry
+        self._rng = np.random.default_rng(plan.seed)
+        self.stats = FaultStats()
+        self._events = sorted(
+            plan.device_events, key=lambda e: (e.at_time_s, e.device)
+        )
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The injector's private random stream (for in-slot retry draws)."""
+        return self._rng
+
+    def retry_failed(self) -> bool:
+        """Draw whether one retried command fails again."""
+        return self._rng.random() < self.plan.effective_retry_failure_rate
+
+    # ------------------------------------------------------------------
+    # Per-request draws
+
+    def failure_mask(self, n: int, *, retry: bool = False) -> np.ndarray:
+        """Boolean mask of commands that complete with CQ error status."""
+        if n < 0:
+            raise ConfigError("request count must be non-negative")
+        rate = (
+            self.plan.effective_retry_failure_rate
+            if retry
+            else self.plan.read_failure_rate
+        )
+        if n == 0 or rate == 0.0:
+            return np.zeros(n, dtype=bool)
+        mask = self._rng.random(n) < rate
+        self.stats.injected_failures += int(mask.sum())
+        return mask
+
+    def latency_multipliers(self, n: int) -> np.ndarray:
+        """Per-request service-latency multipliers (tail spikes)."""
+        if n < 0:
+            raise ConfigError("request count must be non-negative")
+        mult = np.ones(n)
+        rate = self.plan.tail_latency_rate
+        if n == 0 or rate == 0.0:
+            return mult
+        spiked = self._rng.random(n) < rate
+        mult[spiked] = self.plan.tail_latency_multiplier
+        self.stats.latency_spikes += int(spiked.sum())
+        return mult
+
+    def spike_count(self, n: int) -> int:
+        """Number of tail-latency spikes among ``n`` requests (aggregate)."""
+        if n < 0:
+            raise ConfigError("request count must be non-negative")
+        if n == 0 or self.plan.tail_latency_rate == 0.0:
+            return 0
+        count = int(self._rng.binomial(n, self.plan.tail_latency_rate))
+        self.stats.latency_spikes += count
+        return count
+
+    # ------------------------------------------------------------------
+    # Whole-device state
+
+    def device_states(
+        self, now_s: float, num_devices: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-device ``(active, slowdown_factor)`` at simulated ``now_s``.
+
+        Events targeting devices outside the array are ignored (a plan can
+        be reused across differently-sized arrays).
+        """
+        if num_devices <= 0:
+            raise ConfigError("num_devices must be positive")
+        active = np.ones(num_devices, dtype=bool)
+        factors = np.ones(num_devices)
+        for event in self._events:
+            if event.at_time_s > now_s or event.device >= num_devices:
+                continue
+            if event.kind == "dropout":
+                active[event.device] = False
+            elif event.kind == "recovery":
+                active[event.device] = True
+                factors[event.device] = 1.0
+            else:  # slowdown
+                factors[event.device] = event.factor
+        return active, factors
+
+    def lost_page_mask(
+        self, pages: np.ndarray, now_s: float, num_devices: int
+    ) -> np.ndarray:
+        """Which of ``pages`` live on a currently dropped-out device.
+
+        Pages stripe round-robin across the array (BaM's queue-pair
+        striping), so page ``p``'s home device is ``p % num_devices``.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        active, _ = self.device_states(now_s, num_devices)
+        if active.all():
+            return np.zeros(len(pages), dtype=bool)
+        return ~active[pages % num_devices]
+
+    # ------------------------------------------------------------------
+    # Aggregate retry process
+
+    def resolve_batch(
+        self,
+        n_requests: int,
+        *,
+        time_budget_s: float | None = None,
+    ) -> BatchFaultOutcome:
+        """Run the failure/retry process for ``n_requests`` storage reads.
+
+        Draws the initial failure count, then iterates bounded retry
+        rounds: each round re-issues all still-failed commands after the
+        policy's (jittered) backoff, stopping early when the modeled time
+        budget runs out.  Raises :class:`RetryExhaustedError` when requests
+        remain failed and the policy forbids falling back.
+        """
+        if n_requests < 0:
+            raise ConfigError("request count must be non-negative")
+        policy = self.policy
+        rate = self.plan.read_failure_rate
+        if n_requests == 0 or rate == 0.0:
+            return BatchFaultOutcome(attempted=n_requests)
+        budget = policy.batch_timeout_s
+        if time_budget_s is not None:
+            budget = min(budget, time_budget_s)
+
+        failed = int(self._rng.binomial(n_requests, rate))
+        injected = failed
+        retries = 0
+        backoff_total = 0.0
+        timed_out = False
+        retry_rate = self.plan.effective_retry_failure_rate
+        attempt = 1
+        while failed > 0 and attempt <= policy.max_retries:
+            wait = policy.backoff_s(attempt, self._rng)
+            if backoff_total + wait > budget:
+                timed_out = True
+                break
+            backoff_total += wait
+            retries += failed
+            still_failed = (
+                int(self._rng.binomial(failed, retry_rate))
+                if retry_rate > 0.0
+                else 0
+            )
+            injected += still_failed
+            failed = still_failed
+            attempt += 1
+
+        if failed > 0 and not policy.fallback_to_cpu:
+            raise RetryExhaustedError(
+                f"{failed} storage reads still failing after "
+                f"{attempt - 1} retry rounds "
+                f"({'timeout' if timed_out else 'retry limit'})"
+            )
+        outcome = BatchFaultOutcome(
+            attempted=n_requests,
+            injected_failures=injected,
+            retries=retries,
+            unrecovered=failed,
+            backoff_s=backoff_total,
+            timed_out=timed_out,
+        )
+        self.stats.injected_failures += injected
+        self.stats.retries += retries
+        self.stats.unrecovered += failed
+        if timed_out:
+            self.stats.timeouts += 1
+        return outcome

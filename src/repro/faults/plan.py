@@ -1,0 +1,166 @@
+"""Declarative fault plans: what goes wrong, when, and how badly.
+
+A :class:`FaultPlan` is a frozen, JSON-round-trippable description of every
+fault the simulated storage stack should suffer during a run:
+
+* per-request read failures (NVMe completion-queue error status) at a
+  configured rate, with an optional distinct rate for retried commands;
+* tail-latency spikes — a fraction of requests serviced at a multiple of
+  the device latency (the "high variance in latency" of paper §4.2);
+* whole-device events — an SSD slowing down, dropping out of the array, or
+  recovering at a given *simulated* time;
+* PCIe ingress link degradation (reduced effective bandwidth).
+
+Plans are pure data; the :class:`~repro.faults.injector.FaultInjector`
+turns them into seeded stochastic draws so that one plan + one seed always
+reproduces the same fault sequence.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..errors import ConfigError
+from .retry import RetryPolicy
+
+#: Recognised whole-device event kinds.
+DEVICE_EVENT_KINDS = ("slowdown", "dropout", "recovery")
+
+
+@dataclass(frozen=True)
+class DeviceEvent:
+    """One whole-device state change at a simulated point in time.
+
+    Args:
+        device: index of the SSD within the array (0-based).
+        kind: ``"slowdown"`` (device serves at ``1/factor`` of its rated
+            speed), ``"dropout"`` (device vanishes; its pages are lost until
+            recovery), or ``"recovery"`` (device returns at full speed).
+        at_time_s: simulated time at which the event takes effect.
+        factor: slowdown factor (>= 1) for ``"slowdown"`` events.
+    """
+
+    device: int
+    kind: str
+    at_time_s: float
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ConfigError(f"device index must be >= 0, got {self.device}")
+        if self.kind not in DEVICE_EVENT_KINDS:
+            raise ConfigError(
+                f"unknown device event kind {self.kind!r}; "
+                f"expected one of {DEVICE_EVENT_KINDS}"
+            )
+        if self.at_time_s < 0:
+            raise ConfigError("event time must be non-negative")
+        if self.factor < 1.0:
+            raise ConfigError("slowdown factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, serializable fault scenario for one run.
+
+    All rates are probabilities in ``[0, 1)`` applied independently per
+    request.  The default plan injects nothing: a null plan is guaranteed
+    not to perturb modeled times or consume random numbers, so fault
+    support is pay-for-what-you-use.
+    """
+
+    seed: int = 0
+    read_failure_rate: float = 0.0
+    retry_failure_rate: float | None = None
+    tail_latency_rate: float = 0.0
+    tail_latency_multiplier: float = 10.0
+    device_events: tuple[DeviceEvent, ...] = ()
+    pcie_degradation_factor: float = 1.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        for name in ("read_failure_rate", "tail_latency_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {rate}")
+        if self.retry_failure_rate is not None:
+            if not 0.0 <= self.retry_failure_rate <= 1.0:
+                raise ConfigError("retry_failure_rate must be in [0, 1]")
+        if self.tail_latency_multiplier < 1.0:
+            raise ConfigError("tail_latency_multiplier must be >= 1")
+        if self.pcie_degradation_factor < 1.0:
+            raise ConfigError("pcie_degradation_factor must be >= 1")
+        object.__setattr__(
+            self, "device_events", tuple(self.device_events)
+        )
+
+    @property
+    def effective_retry_failure_rate(self) -> float:
+        """Failure probability of a retried command."""
+        if self.retry_failure_rate is None:
+            return self.read_failure_rate
+        return self.retry_failure_rate
+
+    def is_null(self) -> bool:
+        """Whether this plan injects no faults at all."""
+        return (
+            self.read_failure_rate == 0.0
+            and self.tail_latency_rate == 0.0
+            and not self.device_events
+            and self.pcie_degradation_factor == 1.0
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+
+    def to_dict(self) -> dict:
+        """Plain-dict rendering (JSON-safe)."""
+        d = asdict(self)
+        d["device_events"] = [asdict(e) for e in self.device_events]
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        if not isinstance(data, dict):
+            raise ConfigError(f"fault plan must be a JSON object, got {data!r}")
+        known = {
+            "seed", "read_failure_rate", "retry_failure_rate",
+            "tail_latency_rate", "tail_latency_multiplier",
+            "device_events", "pcie_degradation_factor", "retry",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown fault plan keys: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if "device_events" in kwargs:
+            kwargs["device_events"] = tuple(
+                e if isinstance(e, DeviceEvent) else DeviceEvent(**e)
+                for e in kwargs["device_events"]
+            )
+        if "retry" in kwargs and not isinstance(kwargs["retry"], RetryPolicy):
+            kwargs["retry"] = RetryPolicy(**kwargs["retry"])
+        return cls(**kwargs)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid fault plan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file (the ``--fault-plan`` CLI flag)."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as exc:
+            raise ConfigError(f"cannot read fault plan {path!r}: {exc}") from exc

@@ -1,0 +1,82 @@
+"""Retry/backoff policy for failed storage reads, in modeled time.
+
+When an injected fault fails a GPU-initiated read, the loader does what a
+production storage stack would: retry with bounded exponential backoff,
+give up after ``max_retries`` attempts, and stop burning time once the
+per-batch retry budget is exhausted.  Every second spent here is
+*simulated* time, charged to the loader's aggregation stage — the Python
+process never sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and jitter.
+
+    Args:
+        max_retries: re-issue attempts after the initial failure; 0 means
+            fail straight to the fallback path (or raise).
+        backoff_base_s: modeled wait before the first retry.
+        backoff_multiplier: growth factor per subsequent retry round.
+        backoff_jitter: uniform jitter as a fraction of the backoff
+            (``0.1`` = up to +-10%), decorrelating retry storms.
+        batch_timeout_s: modeled retry-time budget per merged storage
+            batch; once spent, remaining failures go to the fallback path.
+        fallback_to_cpu: serve permanently failed pages from the
+            CPU-buffer/feature-store path instead of raising
+            :class:`~repro.errors.RetryExhaustedError`.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 50e-6
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.1
+    batch_timeout_s: float = 0.5
+    fallback_to_cpu: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ConfigError("backoff_base_s must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ConfigError("backoff_jitter must be in [0, 1)")
+        if self.batch_timeout_s <= 0:
+            raise ConfigError("batch_timeout_s must be positive")
+
+    def backoff_s(
+        self, attempt: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Modeled backoff before retry ``attempt`` (1-based).
+
+        With an ``rng`` the backoff carries the configured jitter; without
+        one it is the deterministic midpoint.
+        """
+        if attempt <= 0:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        base = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        if rng is None or self.backoff_jitter == 0.0:
+            return base
+        jitter = rng.uniform(-self.backoff_jitter, self.backoff_jitter)
+        return base * (1.0 + jitter)
+
+    def max_backoff_total_s(self) -> float:
+        """Upper bound on backoff time one request can accumulate."""
+        total = 0.0
+        for attempt in range(1, self.max_retries + 1):
+            total += (
+                self.backoff_base_s
+                * self.backoff_multiplier ** (attempt - 1)
+                * (1.0 + self.backoff_jitter)
+            )
+        return total

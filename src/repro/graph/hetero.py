@@ -10,7 +10,7 @@ type-agnostic), while type metadata is preserved for model-side use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,12 +10,28 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 
 from ..errors import PipelineError
 from .metrics import STAGES, RunReport
 
 #: Bump when the exported record layout changes.
-EXPORT_SCHEMA_VERSION = 1
+#: v2: added the ``faults`` block and NaN/inf-safe float serialization.
+EXPORT_SCHEMA_VERSION = 2
+
+
+def _finite(value: float) -> float | None:
+    """Return ``value`` if it is a finite number, else ``None``.
+
+    ``json.dumps`` happily emits ``NaN``/``Infinity`` — tokens that are
+    *not* valid JSON and break strict parsers downstream.  Every float
+    that could be contaminated (ratios of zero totals, degenerate runs)
+    goes through here so the export is always syntactically valid JSON.
+    """
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
 
 
 def report_to_dict(report: RunReport) -> dict:
@@ -27,10 +43,10 @@ def report_to_dict(report: RunReport) -> dict:
         "loader": report.loader_name,
         "iterations": report.num_iterations,
         "overlapped": report.overlapped,
-        "e2e_seconds": report.e2e_time,
-        "seconds_per_iteration": report.time_per_iteration(),
+        "e2e_seconds": _finite(report.e2e_time),
+        "seconds_per_iteration": _finite(report.time_per_iteration()),
         "stage_seconds": {
-            stage: getattr(totals, stage) for stage in STAGES
+            stage: _finite(getattr(totals, stage)) for stage in STAGES
         },
         "counters": {
             "storage_requests": counters.storage_requests,
@@ -42,19 +58,35 @@ def report_to_dict(report: RunReport) -> dict:
             "page_faults": counters.page_faults,
             "page_cache_hits": counters.page_cache_hits,
         },
-        "gpu_cache_hit_ratio": report.gpu_cache_hit_ratio,
-        "redirect_fraction": counters.redirect_fraction,
-        "effective_aggregation_bandwidth": (
+        "faults": {
+            "injected_faults": counters.injected_faults,
+            "storage_retries": counters.storage_retries,
+            "latency_spikes": counters.latency_spikes,
+            "fallback_requests": counters.fallback_requests,
+            "fallback_bytes": counters.fallback_bytes,
+            "fallback_fraction": _finite(counters.fallback_fraction),
+            "retry_timeouts": counters.retry_timeouts,
+        },
+        "gpu_cache_hit_ratio": _finite(report.gpu_cache_hit_ratio),
+        "redirect_fraction": _finite(counters.redirect_fraction),
+        "effective_aggregation_bandwidth": _finite(
             report.effective_aggregation_bandwidth
         ),
-        "pcie_ingress_bandwidth": report.pcie_ingress_bandwidth,
+        "pcie_ingress_bandwidth": _finite(report.pcie_ingress_bandwidth),
         "total_input_nodes": report.total_input_nodes,
     }
 
 
 def report_to_json(report: RunReport, *, indent: int = 2) -> str:
-    """JSON rendering of :func:`report_to_dict`."""
-    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+    """JSON rendering of :func:`report_to_dict`.
+
+    ``allow_nan=False`` guarantees the output is strict JSON: any
+    non-finite float that slipped past :func:`_finite` raises here
+    instead of silently producing an unparseable document.
+    """
+    return json.dumps(
+        report_to_dict(report), indent=indent, sort_keys=True, allow_nan=False
+    )
 
 
 #: Column order of the per-iteration CSV export.
@@ -115,17 +147,23 @@ def reports_to_comparison_csv(reports: list[RunReport]) -> str:
         "effective_aggregation_bandwidth", "storage_requests",
     ]
     writer.writerow(columns)
+
+    def fmt(value: float | None, digits: int) -> str:
+        # Non-finite summary values export as an empty cell, mirroring the
+        # JSON export's null.
+        return "" if value is None else f"{value:.{digits}f}"
+
     for report in reports:
         summary = report_to_dict(report)
         writer.writerow(
             [
                 summary["loader"],
                 summary["iterations"],
-                f"{summary['e2e_seconds']:.9f}",
-                f"{summary['seconds_per_iteration']:.9f}",
-                f"{summary['gpu_cache_hit_ratio']:.6f}",
-                f"{summary['redirect_fraction']:.6f}",
-                f"{summary['effective_aggregation_bandwidth']:.3f}",
+                fmt(summary["e2e_seconds"], 9),
+                fmt(summary["seconds_per_iteration"], 9),
+                fmt(summary["gpu_cache_hit_ratio"], 6),
+                fmt(summary["redirect_fraction"], 6),
+                fmt(summary["effective_aggregation_bandwidth"], 3),
                 summary["counters"]["storage_requests"],
             ]
         )

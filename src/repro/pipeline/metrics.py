@@ -131,6 +131,29 @@ class RunReport:
     def gpu_cache_hit_ratio(self) -> float:
         return self.counters.gpu_cache_hit_ratio
 
+    @property
+    def total_retries(self) -> int:
+        """Storage commands re-issued after injected failures."""
+        return self.counters.storage_retries
+
+    @property
+    def total_fallbacks(self) -> int:
+        """Reads served by the degraded-mode CPU/feature-store path."""
+        return self.counters.fallback_requests
+
+    def resilience_summary(self) -> dict[str, float]:
+        """Fault/retry/fallback view of the run (all zero when healthy)."""
+        counters = self.counters
+        return {
+            "injected_faults": counters.injected_faults,
+            "storage_retries": counters.storage_retries,
+            "latency_spikes": counters.latency_spikes,
+            "fallback_requests": counters.fallback_requests,
+            "fallback_bytes": counters.fallback_bytes,
+            "fallback_fraction": counters.fallback_fraction,
+            "retry_timeouts": counters.retry_timeouts,
+        }
+
     def breakdown_fractions(self) -> dict[str, float]:
         """Share of serialized time per stage (the Fig. 5 bars)."""
         totals = self.stage_totals

@@ -8,12 +8,20 @@ does (Figs. 9-12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 
 @dataclass
 class TransferCounters:
-    """Mutable accumulator of data-movement statistics."""
+    """Mutable accumulator of data-movement statistics.
+
+    The fault/resilience fields stay zero on healthy runs: ``storage_retries``
+    counts re-issued commands after injected CQ errors, ``injected_faults``
+    the failed completions themselves, ``fallback_requests``/``bytes`` the
+    reads served by the CPU-buffer/feature-store path because their pages
+    were lost (device dropout) or exhausted the retry policy, and
+    ``retry_timeouts`` the batches whose retry-time budget ran out.
+    """
 
     storage_requests: int = 0
     storage_bytes: int = 0
@@ -23,6 +31,12 @@ class TransferCounters:
     gpu_cache_bytes: int = 0
     page_faults: int = 0
     page_cache_hits: int = 0
+    storage_retries: int = 0
+    injected_faults: int = 0
+    latency_spikes: int = 0
+    fallback_requests: int = 0
+    fallback_bytes: int = 0
+    retry_timeouts: int = 0
 
     @property
     def total_requests(self) -> int:
@@ -30,12 +44,19 @@ class TransferCounters:
             self.storage_requests
             + self.cpu_buffer_requests
             + self.gpu_cache_hits
+            + self.fallback_requests
         )
 
     @property
     def ingress_bytes(self) -> int:
         """Bytes that crossed the GPU's PCIe ingress link."""
-        return self.storage_bytes + self.cpu_buffer_bytes
+        return self.storage_bytes + self.cpu_buffer_bytes + self.fallback_bytes
+
+    @property
+    def fallback_fraction(self) -> float:
+        """Fraction of requests served by the degraded-mode fallback path."""
+        total = self.total_requests
+        return self.fallback_requests / total if total else 0.0
 
     @property
     def total_feature_bytes(self) -> int:
@@ -57,24 +78,11 @@ class TransferCounters:
 
     def merge(self, other: "TransferCounters") -> None:
         """Add ``other``'s counts into this accumulator."""
-        self.storage_requests += other.storage_requests
-        self.storage_bytes += other.storage_bytes
-        self.cpu_buffer_requests += other.cpu_buffer_requests
-        self.cpu_buffer_bytes += other.cpu_buffer_bytes
-        self.gpu_cache_hits += other.gpu_cache_hits
-        self.gpu_cache_bytes += other.gpu_cache_bytes
-        self.page_faults += other.page_faults
-        self.page_cache_hits += other.page_cache_hits
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def snapshot(self) -> "TransferCounters":
         """Return an independent copy of the current counts."""
         return TransferCounters(
-            storage_requests=self.storage_requests,
-            storage_bytes=self.storage_bytes,
-            cpu_buffer_requests=self.cpu_buffer_requests,
-            cpu_buffer_bytes=self.cpu_buffer_bytes,
-            gpu_cache_hits=self.gpu_cache_hits,
-            gpu_cache_bytes=self.gpu_cache_bytes,
-            page_faults=self.page_faults,
-            page_cache_hits=self.page_cache_hits,
+            **{f.name: getattr(self, f.name) for f in fields(self)}
         )

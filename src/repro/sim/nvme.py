@@ -75,6 +75,7 @@ class NVMeQueueSim:
         *,
         latency_cv: float = 0.15,
         seed: int | np.random.Generator | None = 0,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         if latency_cv < 0:
             raise ConfigError("latency_cv must be non-negative")
@@ -82,6 +83,9 @@ class NVMeQueueSim:
         self.queues = queues if queues is not None else QueuePairSpec()
         self.latency_cv = latency_cv
         self._rng = as_rng(seed)
+        self.fault_injector = fault_injector
+        #: Commands that completed with CQ error status in the last run().
+        self.last_cq_errors = 0
 
     def _latencies(self, n: int) -> np.ndarray:
         mean = self.ssd.read_latency_s
@@ -127,6 +131,13 @@ class NVMeQueueSim:
         # cannot be submitted while its queue's depth is exhausted, which
         # we model by delaying submission until the slot `rank - depth`
         # of the same queue has completed.
+        inj = self.fault_injector
+        failed = None
+        self.last_cq_errors = 0
+        if inj is not None:
+            latencies = latencies * inj.latency_multipliers(n_requests)
+            failed = inj.failure_mask(n_requests)
+
         device_free: list[float] = [0.0] * slots
         heapq.heapify(device_free)
         completion = np.zeros(n_requests)
@@ -139,10 +150,35 @@ class NVMeQueueSim:
             slot_free = heapq.heappop(device_free)
             start = max(ready, slot_free)
             done = start + latencies[i]
+            if failed is not None and failed[i]:
+                # CQ entry carried an error status: the host re-submits the
+                # command (bounded retries, backoff), holding the SQ slot.
+                self.last_cq_errors += 1
+                done = self._resubmit(done, inj)
             heapq.heappush(device_free, done)
             completion[i] = done
         elapsed = float(completion.max())
         return elapsed, n_requests / elapsed
+
+    def _resubmit(self, done: float, inj) -> float:
+        """Re-issue one failed command until success or retry exhaustion."""
+        policy = inj.policy
+        resubmit_cost = self.queues.submission_overhead_s + (
+            self.queues.doorbell_overhead_s / self.queues.doorbell_batch
+        )
+        for attempt in range(1, policy.max_retries + 1):
+            done += (
+                policy.backoff_s(attempt, inj.rng)
+                + resubmit_cost
+                + self.ssd.read_latency_s
+            )
+            inj.stats.retries += 1
+            if not inj.retry_failed():
+                return done
+            self.last_cq_errors += 1
+            inj.stats.injected_failures += 1
+        inj.stats.unrecovered += 1
+        return done
 
     def sustained_iops(self, n_requests: int = 16384) -> float:
         """Steady-state IOPS estimate from one large batch."""

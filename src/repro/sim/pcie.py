@@ -26,23 +26,29 @@ class PCIeLink:
             copy feature vectors out of the CPU buffer stop enqueueing
             storage requests while doing so (Section 4.3 observes this
             effect keeps GIDS slightly under peak).
+        degradation_factor: fault-injection knob — the link runs at
+            ``1/degradation_factor`` of its rated bandwidth (a downtrained
+            or error-retrying link).  1.0 means healthy.
     """
 
     spec: PCIeSpec = PCIeSpec()
     cpu_path_efficiency: float = 0.85
+    degradation_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.cpu_path_efficiency <= 1.0:
             raise ConfigError("cpu_path_efficiency must be in (0, 1]")
+        if self.degradation_factor < 1.0:
+            raise ConfigError("degradation_factor must be >= 1")
 
     @property
     def bandwidth(self) -> float:
-        return self.spec.bandwidth_bytes
+        return self.spec.bandwidth_bytes / self.degradation_factor
 
     @property
     def cpu_path_bandwidth(self) -> float:
         """Achievable DRAM->GPU bandwidth over this link, bytes/s."""
-        return self.spec.bandwidth_bytes * self.cpu_path_efficiency
+        return self.bandwidth * self.cpu_path_efficiency
 
     def transfer_time(self, n_bytes: float) -> float:
         """Time to move ``n_bytes`` over the link at full bandwidth."""

@@ -125,6 +125,11 @@ class SSDMicrobench:
     its peak IOPS and latency); requests beyond the free slots queue.
     Per-request latency is lognormal around the spec latency, reflecting the
     "high variance in latency" the paper observes in Section 4.2.
+
+    An optional :class:`~repro.faults.injector.FaultInjector` adds
+    per-request read failures (retried in-slot with the injector's backoff
+    policy) and tail-latency spikes; without one, behavior and RNG
+    consumption are unchanged.
     """
 
     def __init__(
@@ -135,6 +140,7 @@ class SSDMicrobench:
         gpu: GPUSpec | None = None,
         latency_cv: float = 0.25,
         seed: int | np.random.Generator | None = 0,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         if num_ssds <= 0:
             raise ConfigError(f"num_ssds must be positive, got {num_ssds}")
@@ -145,6 +151,7 @@ class SSDMicrobench:
         self.gpu = gpu if gpu is not None else GPUSpec()
         self.latency_cv = latency_cv
         self._rng = as_rng(seed)
+        self.fault_injector = fault_injector
 
     def _draw_latencies(self, n: int) -> np.ndarray:
         """Lognormal service latencies with the configured mean and CV."""
@@ -170,6 +177,12 @@ class SSDMicrobench:
         latencies = self._draw_latencies(n_requests)
         start = self.gpu.kernel_launch_overhead_s
 
+        inj = self.fault_injector
+        failed = None
+        if inj is not None:
+            latencies = latencies * inj.latency_multipliers(n_requests)
+            failed = inj.failure_mask(n_requests)
+
         # Per-SSD min-heaps of slot free times; requests round-robin over
         # SSDs exactly like BaM's queue-pair striping.
         slot_heaps: list[list[float]] = [
@@ -182,11 +195,28 @@ class SSDMicrobench:
             heap = slot_heaps[i % self.num_ssds]
             free_at = heapq.heappop(heap)
             done = free_at + latencies[i]
+            if failed is not None and failed[i]:
+                # The command completed with error status; retry in the
+                # same slot after backoff (the slot stays occupied, which
+                # is what a held SQ entry costs the device).
+                done = self._retry_in_slot(done, inj)
             heapq.heappush(heap, done)
             if done > last_completion:
                 last_completion = done
         elapsed = last_completion + self.gpu.kernel_termination_overhead_s
         return elapsed, n_requests / elapsed
+
+    def _retry_in_slot(self, done: float, inj) -> float:
+        """Model bounded in-slot retries of one failed command."""
+        policy = inj.policy
+        for attempt in range(1, policy.max_retries + 1):
+            done += policy.backoff_s(attempt, inj.rng) + self.spec.read_latency_s
+            inj.stats.retries += 1
+            if not inj.retry_failed():
+                return done
+            inj.stats.injected_failures += 1
+        inj.stats.unrecovered += 1
+        return done
 
     def sweep(self, n_values: list[int], repeats: int = 3) -> list[float]:
         """Mean achieved IOPS for each overlapping-access count in ``n_values``."""

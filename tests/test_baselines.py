@@ -1,6 +1,5 @@
 """Unit tests for the baseline dataloaders (DGL-mmap, Ginex, UVA)."""
 
-import numpy as np
 import pytest
 
 from repro import (

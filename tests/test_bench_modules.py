@@ -7,13 +7,12 @@ from repro.bench.tables import render_table
 from repro.bench.workloads import (
     FULL_SCALE_BATCH_INPUTS,
     PAPER_CPU_MEMORY,
-    Workload,
     calibrate_batch_size,
     get_workload,
 )
 from repro.config import INTEL_OPTANE, SAMSUNG_980PRO
 from repro.errors import ConfigError
-from repro.graph.datasets import get_dataset_spec, load_scaled
+from repro.graph.datasets import get_dataset_spec
 from repro.sampling.neighbor import NeighborSampler
 
 

@@ -8,10 +8,7 @@ from repro.config import (
     INTEL_OPTANE,
     PAGE_BYTES,
     SAMSUNG_980PRO,
-    CPUSpec,
-    GPUSpec,
     LoaderConfig,
-    PCIeSpec,
     SSDSpec,
     SystemConfig,
 )

@@ -7,7 +7,6 @@ from repro import (
     BaMDataLoader,
     GIDSDataLoader,
     LoaderConfig,
-    SystemConfig,
 )
 from repro.errors import ConfigError
 

@@ -8,11 +8,15 @@ direction.
 """
 
 import numpy as np
-import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import (
+    FaultInjector,
+    FaultPlan,
     GIDSDataLoader,
     LoaderConfig,
+    RetryPolicy,
     SSDArray,
     SSDMicrobench,
     SystemConfig,
@@ -145,6 +149,124 @@ class TestWedgedCache:
         report = loader.run(5, warmup=2)
         assert report.num_iterations == 5
         loader.cache.check_invariants()
+
+
+class TestInjectedFaultRates:
+    """Property tests: the injector delivers the configured fault process."""
+
+    @given(
+        rate=st.floats(min_value=0.01, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_observed_failure_rate_matches_configured(self, rate, seed):
+        n = 20_000
+        plan = FaultPlan(seed=seed, read_failure_rate=rate)
+        observed = FaultInjector(plan).failure_mask(n).mean()
+        # Binomial(n, rate): allow 5 standard deviations around the mean.
+        tolerance = 5 * np.sqrt(rate * (1 - rate) / n)
+        assert abs(observed - rate) < tolerance
+
+    @given(
+        rate=st.floats(min_value=0.01, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_observed_spike_rate_matches_configured(self, rate, seed):
+        n = 20_000
+        plan = FaultPlan(seed=seed, tail_latency_rate=rate)
+        observed = FaultInjector(plan).spike_count(n) / n
+        tolerance = 5 * np.sqrt(rate * (1 - rate) / n)
+        assert abs(observed - rate) < tolerance
+
+    @given(
+        rate=st.floats(min_value=0.01, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resolve_batch_injects_at_configured_rate(self, rate, seed):
+        n = 20_000
+        plan = FaultPlan(
+            seed=seed, read_failure_rate=rate, retry_failure_rate=0.0
+        )
+        outcome = FaultInjector(plan).resolve_batch(n)
+        tolerance = 5 * np.sqrt(rate * (1 - rate) / n)
+        assert abs(outcome.injected_failures / n - rate) < tolerance
+        # With perfectly reliable retries, every failure is retried once
+        # and every retry recovers.
+        assert outcome.retries == outcome.injected_failures
+        assert outcome.unrecovered == 0
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_backoff_monotone_in_retry_persistence(self, seed):
+        """More persistently failing retries cost at least as much
+        modeled backoff time."""
+        base = dict(seed=seed, read_failure_rate=0.3)
+        mild = FaultInjector(
+            FaultPlan(retry_failure_rate=0.0, **base)
+        ).resolve_batch(5000)
+        harsh = FaultInjector(
+            FaultPlan(retry_failure_rate=0.9, **base)
+        ).resolve_batch(5000)
+        assert harsh.retries >= mild.retries
+        assert harsh.backoff_s >= mild.backoff_s
+
+
+class TestThroughputUnderFaults:
+    def test_throughput_degrades_monotonically_with_fault_rate(
+        self, small_dataset
+    ):
+        """Injected read failures cost retries and backoff, so modeled
+        epoch time must be non-decreasing in the configured fault rate."""
+        system = SystemConfig(
+            ssd=INTEL_OPTANE,
+            num_ssds=2,
+            cpu_memory_limit_bytes=small_dataset.structure_data_bytes
+            + small_dataset.feature_data_bytes * 0.15,
+        )
+        config = LoaderConfig(
+            gpu_cache_bytes=small_dataset.feature_data_bytes * 0.05,
+            cpu_buffer_fraction=0.10,
+            window_depth=4,
+        )
+
+        def e2e(rate):
+            plan = (
+                None if rate == 0.0
+                else FaultPlan(seed=11, read_failure_rate=rate)
+            )
+            loader = GIDSDataLoader(
+                small_dataset, system, config,
+                batch_size=64, fanouts=(5, 5), seed=1, fault_plan=plan,
+            )
+            return loader.run(15, warmup=5).e2e_time
+
+        times = [e2e(rate) for rate in (0.0, 0.02, 0.1, 0.3)]
+        for slower, faster in zip(times[1:], times[:-1]):
+            assert slower >= faster
+
+    def test_microbench_elapsed_monotone_in_fault_rate(self):
+        policy = RetryPolicy(backoff_jitter=0.0)
+
+        def elapsed(rate):
+            inj = (
+                FaultInjector(
+                    FaultPlan(
+                        seed=5, read_failure_rate=rate, retry_failure_rate=0.0
+                    ),
+                    policy,
+                )
+                if rate > 0.0
+                else None
+            )
+            return SSDMicrobench(
+                INTEL_OPTANE, seed=0, latency_cv=0.0, fault_injector=inj
+            ).run(4096)[0]
+
+        times = [elapsed(rate) for rate in (0.0, 0.05, 0.2, 0.5)]
+        for slower, faster in zip(times[1:], times[:-1]):
+            assert slower >= faster
 
 
 class TestStarvedCPUMemory:

@@ -5,7 +5,6 @@ The window buffer, accumulator and cache interact across epoch boundaries
 enough to cross several epochs and check the bookkeeping stays balanced.
 """
 
-import numpy as np
 import pytest
 
 from repro import GIDSDataLoader, LoaderConfig, SystemConfig, load_scaled

@@ -1,6 +1,5 @@
 """Edge-case coverage: CLI corners, model helpers, report corners."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main

@@ -1,7 +1,6 @@
 """Property-based tests for the cache tiers (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cache.belady import BeladyCache

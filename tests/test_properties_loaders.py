@@ -1,7 +1,6 @@
 """Property-based tests for loaders, typed sampling, and the NVMe sim."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import INTEL_OPTANE, LoaderConfig, SSDSpec, SystemConfig

@@ -1,6 +1,5 @@
 """Property-based tests for the analytic device models (hypothesis)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import SSDSpec

@@ -1,7 +1,6 @@
 """Property-based tests for sampling and the storage layout (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.generators import power_law_graph

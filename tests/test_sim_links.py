@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import INTEL_OPTANE, SAMSUNG_980PRO, CPUSpec, PCIeSpec
+from repro.config import INTEL_OPTANE, SAMSUNG_980PRO, CPUSpec
 from repro.errors import ConfigError
 from repro.sim.cpu import CPUModel
 from repro.sim.gpu import GPUModel
