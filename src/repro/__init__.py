@@ -32,22 +32,37 @@ from .config import (
 )
 from .errors import (
     CapacityError,
+    CheckpointCorruptError,
+    CheckpointError,
     ConfigError,
     DatasetError,
     FaultError,
     GraphError,
     PipelineError,
     ReproError,
+    RestartLimitError,
     RetryExhaustedError,
     SamplingError,
+    SimulatedCrashError,
+    StalledRunError,
     StorageError,
 )
 from .faults import (
+    CrashEvent,
     DeviceEvent,
     FaultInjector,
     FaultPlan,
     FaultySSDArray,
     RetryPolicy,
+)
+from .checkpoint import (
+    CheckpointStore,
+    CheckpointSummary,
+    RunSupervisor,
+    SupervisedRunResult,
+    SupervisorConfig,
+    read_snapshot,
+    write_snapshot,
 )
 from .graph import (
     DATASETS,
@@ -86,6 +101,7 @@ from .pipeline import (
     RunReport,
     StageTimes,
     TrainingPipeline,
+    TrainingResult,
     iterations_to_csv,
     report_to_dict,
     report_to_json,
@@ -119,21 +135,35 @@ __all__ = [
     "SystemConfig",
     # errors
     "CapacityError",
+    "CheckpointCorruptError",
+    "CheckpointError",
     "ConfigError",
     "DatasetError",
     "FaultError",
     "GraphError",
     "PipelineError",
     "ReproError",
+    "RestartLimitError",
     "RetryExhaustedError",
     "SamplingError",
+    "SimulatedCrashError",
+    "StalledRunError",
     "StorageError",
     # fault injection & resilience
+    "CrashEvent",
     "DeviceEvent",
     "FaultInjector",
     "FaultPlan",
     "FaultySSDArray",
     "RetryPolicy",
+    # checkpoint / supervised runs
+    "CheckpointStore",
+    "CheckpointSummary",
+    "RunSupervisor",
+    "SupervisedRunResult",
+    "SupervisorConfig",
+    "read_snapshot",
+    "write_snapshot",
     # graphs & datasets
     "DATASETS",
     "CSRGraph",
@@ -175,6 +205,7 @@ __all__ = [
     "RunReport",
     "StageTimes",
     "TrainingPipeline",
+    "TrainingResult",
     "iterations_to_csv",
     "report_to_dict",
     "report_to_json",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import CheckpointError, ConfigError
 from ..utils import as_rng
 from .base import CacheStats
 
@@ -252,6 +252,59 @@ class GPUSoftwareCache:
         )
         self.access(pages)
         self.stats = saved
+
+    def state_dict(self) -> dict:
+        """Full snapshot: residency, pinning, eviction order, RNG, stats.
+
+        Captures everything needed for a resumed run to make bit-identical
+        eviction decisions: the reuse/pending counters, the evictable
+        population in its exact order (which the random policy indexes into
+        and the LRU policy reads recency from), and the eviction RNG state.
+        """
+        return {
+            "policy": self.policy,
+            "capacity_lines": self.capacity_lines,
+            "rng": self._rng.bit_generator.state,
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "bypasses": self.stats.bypasses,
+            },
+            "reuse": dict(self._reuse),
+            "pending": dict(self._pending),
+            "evictable": list(self._evictable_list),
+            "lru": list(self._lru),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`."""
+        if state.get("policy") != self.policy:
+            raise CheckpointError(
+                f"checkpoint eviction policy {state.get('policy')!r} does "
+                f"not match cache policy {self.policy!r}"
+            )
+        if state.get("capacity_lines") != self.capacity_lines:
+            raise CheckpointError(
+                f"checkpoint cache capacity {state.get('capacity_lines')} "
+                f"does not match configured {self.capacity_lines}"
+            )
+        self._rng.bit_generator.state = state["rng"]
+        stats = state["stats"]
+        self.stats = CacheStats(
+            hits=int(stats["hits"]),
+            misses=int(stats["misses"]),
+            evictions=int(stats["evictions"]),
+            bypasses=int(stats["bypasses"]),
+        )
+        self._reuse = {int(k): int(v) for k, v in state["reuse"].items()}
+        self._pending = {int(k): int(v) for k, v in state["pending"].items()}
+        self._evictable_list = [int(p) for p in state["evictable"]]
+        self._evictable_pos = {
+            page: pos for pos, page in enumerate(self._evictable_list)
+        }
+        self._lru = {int(p): None for p in state["lru"]}
+        self.check_invariants()
 
     def check_invariants(self) -> None:
         """Raise if internal bookkeeping is inconsistent (used by tests)."""

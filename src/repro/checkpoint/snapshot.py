@@ -1,0 +1,122 @@
+"""On-disk snapshot format: versioned, checksummed, atomically written.
+
+A snapshot file is::
+
+    8 bytes   magic        b"GIDSCKPT"
+    4 bytes   version      little-endian uint32
+    4 bytes   payload CRC  little-endian uint32 (zlib.crc32 of the payload)
+    8 bytes   payload len  little-endian uint64
+    N bytes   payload      pickled plain-dict state
+
+The payload is a plain dict of builtins and NumPy arrays produced by the
+``state_dict`` protocol — no library classes are pickled, so old
+snapshots keep loading across refactors as long as the dict schema is
+understood.  Writes are crash-safe: the bytes land in a same-directory
+temp file which is fsynced and then atomically renamed over the final
+path, so a reader never observes a half-written snapshot.  Readers verify
+magic, version, length and CRC and raise
+:class:`~repro.errors.CheckpointCorruptError` on any mismatch — this is
+what lets the supervisor skip a torn/corrupted latest snapshot and fall
+back to an older one.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+
+from ..errors import CheckpointCorruptError, CheckpointError
+
+#: File magic identifying a GIDS checkpoint snapshot.
+SNAPSHOT_MAGIC = b"GIDSCKPT"
+
+#: Current snapshot format version.
+SNAPSHOT_VERSION = 1
+
+_HEADER = struct.Struct("<8sIIQ")
+
+
+def write_snapshot(path: str, payload: dict) -> int:
+    """Atomically write ``payload`` as a snapshot file; returns bytes written.
+
+    The payload must be a plain dict (the ``state_dict`` protocol).  The
+    write goes through a temp file in the same directory + fsync +
+    ``os.replace`` so a crash mid-write leaves either the old file or no
+    file — never a torn one.
+    """
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"snapshot payload must be a dict, got {type(payload).__name__}"
+        )
+    try:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(f"snapshot payload is not picklable: {exc}") from exc
+    header = _HEADER.pack(
+        SNAPSHOT_MAGIC, SNAPSHOT_VERSION, zlib.crc32(body), len(body)
+    )
+    data = header + body
+    tmp_path = f"{path}.tmp"
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write snapshot {path!r}: {exc}") from exc
+    return len(data)
+
+
+def read_snapshot(path: str) -> dict:
+    """Read and verify a snapshot file written by :func:`write_snapshot`.
+
+    Raises :class:`~repro.errors.CheckpointCorruptError` when the file is
+    truncated, has the wrong magic/version, or fails its CRC — and
+    :class:`~repro.errors.CheckpointError` when it cannot be read at all.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read snapshot {path!r}: {exc}") from exc
+    if len(data) < _HEADER.size:
+        raise CheckpointCorruptError(
+            f"snapshot {path!r} is truncated ({len(data)} bytes)"
+        )
+    magic, version, crc, length = _HEADER.unpack_from(data)
+    if magic != SNAPSHOT_MAGIC:
+        raise CheckpointCorruptError(
+            f"snapshot {path!r} has bad magic {magic!r}"
+        )
+    if version != SNAPSHOT_VERSION:
+        raise CheckpointCorruptError(
+            f"snapshot {path!r} has unsupported version {version}"
+        )
+    body = data[_HEADER.size:]
+    if len(body) != length:
+        raise CheckpointCorruptError(
+            f"snapshot {path!r} payload is {len(body)} bytes, "
+            f"header says {length}"
+        )
+    if zlib.crc32(body) != crc:
+        raise CheckpointCorruptError(
+            f"snapshot {path!r} failed its CRC check"
+        )
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise CheckpointCorruptError(
+            f"snapshot {path!r} payload does not unpickle: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointCorruptError(
+            f"snapshot {path!r} payload is not a dict"
+        )
+    return payload

@@ -1,0 +1,106 @@
+"""A directory of retained snapshots with corrupted-file fallback.
+
+The store names snapshots by the completed-iteration count they capture
+(``ckpt-00000042.bin``), keeps a bounded ring of the most recent ones, and
+— crucially for crash safety — loads the *latest valid* snapshot, scanning
+backwards past files that fail their integrity check.  A torn write from a
+crash mid-checkpoint therefore costs at most one cadence of progress, not
+the run.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+from ..errors import CheckpointCorruptError, CheckpointError, ConfigError
+from .snapshot import read_snapshot, write_snapshot
+
+_SNAPSHOT_RE = re.compile(r"^ckpt-(\d{8})\.bin$")
+
+
+@dataclass(frozen=True)
+class LoadedSnapshot:
+    """Result of :meth:`CheckpointStore.load_latest`.
+
+    ``corrupted_skipped`` counts newer snapshots that failed their
+    integrity check and were passed over to reach this one.
+    """
+
+    iteration: int
+    payload: dict
+    path: str
+    corrupted_skipped: int = 0
+
+
+class CheckpointStore:
+    """Snapshot ring in one directory.
+
+    Args:
+        directory: where snapshots live; created if missing.
+        keep: how many recent snapshots to retain (older ones are deleted
+            after each successful write).
+    """
+
+    def __init__(self, directory: str, *, keep: int = 3) -> None:
+        if keep <= 0:
+            raise ConfigError("must retain at least one snapshot")
+        self.directory = directory
+        self.keep = keep
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create checkpoint directory {directory!r}: {exc}"
+            ) from exc
+
+    def path_for(self, iteration: int) -> str:
+        return os.path.join(self.directory, f"ckpt-{iteration:08d}.bin")
+
+    def iterations(self) -> list[int]:
+        """Iteration numbers of all snapshots on disk, oldest first."""
+        found = []
+        for name in os.listdir(self.directory):
+            match = _SNAPSHOT_RE.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def save(self, iteration: int, payload: dict) -> int:
+        """Write one snapshot and prune the ring; returns bytes written."""
+        if iteration < 0:
+            raise ConfigError("iteration must be non-negative")
+        written = write_snapshot(self.path_for(iteration), payload)
+        self._prune()
+        return written
+
+    def _prune(self) -> None:
+        iterations = self.iterations()
+        for iteration in iterations[: max(0, len(iterations) - self.keep)]:
+            try:
+                os.unlink(self.path_for(iteration))
+            except OSError:
+                pass  # already gone; retention is best-effort
+
+    def load_latest(self) -> LoadedSnapshot | None:
+        """The newest snapshot that passes its integrity check.
+
+        Corrupted snapshots are skipped (newest first) and counted; returns
+        ``None`` when the directory holds no valid snapshot at all.
+        """
+        skipped = 0
+        for iteration in reversed(self.iterations()):
+            path = self.path_for(iteration)
+            try:
+                payload = read_snapshot(path)
+            except CheckpointCorruptError:
+                skipped += 1
+                continue
+            return LoadedSnapshot(
+                iteration=iteration,
+                payload=payload,
+                path=path,
+                corrupted_skipped=skipped,
+            )
+        return None

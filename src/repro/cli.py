@@ -5,9 +5,12 @@ Commands:
 * ``datasets`` — print the dataset registry (Tables 2-3).
 * ``run`` — run one or all dataloaders on a scaled workload and print a
   comparison (optionally JSON/CSV); ``--fault-plan plan.json`` injects
-  storage faults and reports the retry/fallback counters.
+  storage faults and reports the retry/fallback counters;
+  ``--checkpoint-dir`` switches to a supervised, crash-safe functional
+  training run (with ``--checkpoint-every`` cadence and ``--resume``).
 * ``figure`` — regenerate one paper figure/table by name.
-* ``train`` — functional GraphSAGE training through the GIDS loader.
+* ``train`` — functional GraphSAGE training through the GIDS loader, with
+  the same supervised checkpoint/resume flags.
 * ``ssd-model`` — print the Eq. 2-3 bandwidth model for an SSD.
 """
 
@@ -46,6 +49,29 @@ _EXPERIMENTS = {
 }
 
 
+def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="enable crash-safe supervised training: write snapshots to "
+        "DIR and restart from the latest valid one after a crash",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="snapshot cadence in completed iterations (default: 10)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from snapshots already in --checkpoint-dir instead "
+        "of starting fresh",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -74,8 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="JSON_PATH",
         default=None,
         help="inject storage faults from a FaultPlan JSON file "
-        "(read failures, tail spikes, device dropout, PCIe degradation)",
+        "(read failures, tail spikes, device dropout, PCIe degradation, "
+        "simulated process crashes)",
     )
+    _add_checkpoint_args(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -87,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--classes", type=int, default=8)
     train.add_argument("--hidden-dim", type=int, default=64)
     train.add_argument("--batch-size", type=int, default=256)
+    train.add_argument(
+        "--fault-plan",
+        metavar="JSON_PATH",
+        default=None,
+        help="inject storage faults / crash events from a FaultPlan JSON "
+        "file",
+    )
+    _add_checkpoint_args(train)
 
     ssd = sub.add_parser("ssd-model", help="Eq. 2-3 bandwidth model")
     ssd.add_argument("--ssd", choices=sorted(_SSDS), default="optane")
@@ -120,6 +156,34 @@ def _cmd_datasets() -> int:
     return 0
 
 
+def _make_supervisor(args: argparse.Namespace, pipeline_factory):
+    """Build the run supervisor behind the ``--checkpoint-*`` flags.
+
+    Without ``--resume``, snapshots left over from a previous invocation
+    are cleared so the run starts from iteration 0 (in-run crash recovery
+    still resumes from the snapshots this run writes).
+    """
+    from .checkpoint import CheckpointStore, RunSupervisor, SupervisorConfig
+
+    config = SupervisorConfig(checkpoint_every=args.checkpoint_every)
+    store = CheckpointStore(
+        args.checkpoint_dir, keep=config.keep_snapshots
+    )
+    if not args.resume:
+        stale = store.iterations()
+        if stale:
+            print(
+                f"note: clearing {len(stale)} old snapshot(s) from "
+                f"{args.checkpoint_dir} (pass --resume to continue them)",
+                file=sys.stderr,
+            )
+            import os
+
+            for iteration in stale:
+                os.unlink(store.path_for(iteration))
+    return RunSupervisor(pipeline_factory, store, config=config)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .baselines.ginex import GinexLoader
     from .baselines.mmap_loader import DGLMmapLoader
@@ -139,6 +203,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .faults import FaultPlan
 
         fault_plan = FaultPlan.from_json_file(args.fault_plan)
+
+    if args.checkpoint_dir is not None:
+        return _cmd_run_supervised(
+            args, workload, system, config, common, fault_plan
+        )
 
     heterogeneous = workload.dataset.hetero is not None
     selected = (
@@ -212,6 +281,79 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_supervised(
+    args, workload, system, config, common, fault_plan
+) -> int:
+    """``run --checkpoint-dir``: crash-safe supervised functional training.
+
+    Snapshot/resume requires the stateful GIDS-family loaders; the run
+    report covers every trained iteration (no warmup split) and the JSON
+    export carries the ``checkpoint_summary`` block.
+    """
+    from .core.bam import BaMDataLoader
+    from .core.gids import GIDSDataLoader
+    from .pipeline.export import report_to_json
+    from .pipeline.runner import TrainingPipeline
+    from .training.graphsage import GraphSAGE
+
+    loader_cls = {"gids": GIDSDataLoader, "bam": BaMDataLoader}.get(
+        args.loader
+    )
+    if loader_cls is None:
+        print(
+            "error: --checkpoint-dir requires --loader gids or bam "
+            "(the baseline loaders cannot be checkpointed mid-run)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def pipeline_factory() -> TrainingPipeline:
+        kwargs = dict(common)
+        if loader_cls is GIDSDataLoader:
+            kwargs["hot_nodes"] = workload.hot_nodes
+        loader = loader_cls(
+            workload.dataset, system, config,
+            fault_plan=fault_plan, **kwargs,
+        )
+        model = GraphSAGE(
+            workload.dataset.feature_dim, 32, 8, num_layers=len(
+                workload.fanouts
+            ), seed=0,
+        )
+        return TrainingPipeline(loader, model, num_classes=8)
+
+    supervisor = _make_supervisor(args, pipeline_factory)
+    outcome = supervisor.run(args.iterations)
+    summary = outcome.summary
+
+    if args.format == "json":
+        print(
+            report_to_json(outcome.report, checkpoint_summary=summary)
+        )
+    else:
+        report = outcome.report
+        rows = [
+            ["completed iterations", outcome.result.completed_iterations],
+            ["final loss", f"{outcome.result.losses[-1]:.4f}"],
+            ["E2E modeled ms", f"{report.e2e_time * 1e3:.2f}"],
+            ["snapshots written", summary.snapshots_written],
+            ["snapshot bytes", summary.snapshot_bytes],
+            ["restores", summary.restores],
+            ["corrupted skipped", summary.corrupted_skipped],
+            ["crashes survived", summary.crashes],
+            ["restarts", summary.restarts],
+        ]
+        print(
+            render_table(
+                ["metric", "value"],
+                rows,
+                title=f"supervised {report.loader_name} run on "
+                f"{args.dataset}",
+            )
+        )
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from .bench import experiments
 
@@ -236,20 +378,41 @@ def _cmd_train(args: argparse.Namespace) -> int:
         cpu_buffer_fraction=0.10,
         window_depth=4,
     )
-    loader = GIDSDataLoader(
-        dataset, system, config, batch_size=args.batch_size,
-        fanouts=(5, 5), seed=1,
-    )
-    model = GraphSAGE(
-        dataset.feature_dim, args.hidden_dim, args.classes,
-        num_layers=2, lr=0.05, seed=0,
-    )
-    pipeline = TrainingPipeline(loader, model, num_classes=args.classes)
-    result = pipeline.train(args.iterations)
+    fault_plan = None
+    if args.fault_plan is not None:
+        from .faults import FaultPlan
+
+        fault_plan = FaultPlan.from_json_file(args.fault_plan)
+
+    def pipeline_factory() -> TrainingPipeline:
+        loader = GIDSDataLoader(
+            dataset, system, config, batch_size=args.batch_size,
+            fanouts=(5, 5), seed=1, fault_plan=fault_plan,
+        )
+        model = GraphSAGE(
+            dataset.feature_dim, args.hidden_dim, args.classes,
+            num_layers=2, lr=0.05, seed=0,
+        )
+        return TrainingPipeline(loader, model, num_classes=args.classes)
+
+    if args.checkpoint_dir is not None:
+        supervisor = _make_supervisor(args, pipeline_factory)
+        outcome = supervisor.run(args.iterations)
+        result = outcome.result
+        summary = outcome.summary
+    else:
+        result = pipeline_factory().train(args.iterations)
+        summary = None
     first = sum(result.losses[:5]) / 5
     last = sum(result.losses[-5:]) / 5
     print(f"trained {result.num_steps} steps: loss {first:.4f} -> {last:.4f}")
     print(f"final training accuracy: {result.final_train_accuracy:.1%}")
+    if summary is not None:
+        print(
+            f"checkpointing: {summary.snapshots_written} snapshot(s), "
+            f"{summary.restores} restore(s), {summary.crashes} crash(es) "
+            f"survived, {summary.corrupted_skipped} corrupted skipped"
+        )
     return 0
 
 

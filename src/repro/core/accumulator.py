@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import ConfigError
+from ..errors import CheckpointError, ConfigError
 from ..sim.ssd import SSDArray
 
 
@@ -105,3 +105,26 @@ class DynamicAccessAccumulator:
         if merged_iterations >= self.max_merged_iterations:
             return False
         return accumulated_nodes < self.node_threshold
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot of the adaptive phase state (smoothed redirect fraction)."""
+        return {
+            "target_fraction": self.target_fraction,
+            "max_merged_iterations": self.max_merged_iterations,
+            "redirect_fraction": self._redirect_fraction,
+            "observed": self._observed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the phase state captured by :meth:`state_dict`."""
+        if state.get("target_fraction") != self.target_fraction or state.get(
+            "max_merged_iterations"
+        ) != self.max_merged_iterations:
+            raise CheckpointError(
+                "accumulator configuration does not match the checkpoint"
+            )
+        self._redirect_fraction = float(state["redirect_fraction"])
+        self._observed = bool(state["observed"])

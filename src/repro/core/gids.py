@@ -28,7 +28,7 @@ import numpy as np
 from ..cache.cpu_buffer import ConstantCPUBuffer
 from ..cache.gpu_cache import GPUSoftwareCache
 from ..config import LoaderConfig, SystemConfig
-from ..errors import ConfigError
+from ..errors import CheckpointError, ConfigError
 from ..faults import FaultInjector, FaultPlan, FaultySSDArray, RetryPolicy
 from ..graph.datasets import ScaledDataset
 from ..graph.pagerank import hot_node_ranking
@@ -36,7 +36,7 @@ from ..pipeline.metrics import IterationMetrics, RunReport, StageTimes
 from ..sampling.ladies import LadiesSampler
 from ..sampling.minibatch import MiniBatch
 from ..sampling.neighbor import NeighborSampler
-from ..sampling.seeds import epoch_seed_batches
+from ..sampling.seeds import SeedBatchStream
 from ..sim.counters import TransferCounters
 from ..sim.gpu import GPUModel
 from ..sim.pcie import PCIeLink
@@ -169,7 +169,9 @@ class GIDSDataLoader:
         from .window import WindowBuffer
 
         self.window = WindowBuffer(self.cache, self.config.window_depth)
-        self._seed_stream = self._seed_batches()
+        self._seed_stream = SeedBatchStream(
+            dataset.train_ids, batch_size, self._rng
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -259,19 +261,9 @@ class GIDSDataLoader:
     # ------------------------------------------------------------------
     # Sampling / window management
 
-    def _seed_batches(self) -> Iterator[np.ndarray]:
-        """Endless stream of shuffled seed batches (epoch after epoch)."""
-        while True:
-            yield from epoch_seed_batches(
-                self.dataset.train_ids,
-                self.batch_size,
-                shuffle=True,
-                seed=self._rng,
-            )
-
     def _sample_next(self) -> None:
         """Sample one future iteration and push it into the window."""
-        seeds = next(self._seed_stream)
+        seeds = self._seed_stream.next()
         batch = self.sampler.sample(seeds)
         nodes = batch.input_nodes
         if self.cpu_buffer is not None:
@@ -481,11 +473,30 @@ class GIDSDataLoader:
     def _execute(self, n_iterations: int, report: RunReport | None) -> None:
         done = 0
         while done < n_iterations:
-            group = self._next_group(remaining=n_iterations - done)
-            for metrics in self._aggregate_group(group):
+            pairs = self.next_training_group(n_iterations - done)
+            for _, metrics in pairs:
                 if report is not None:
                     report.append(metrics)
-            done += len(group)
+            done += len(pairs)
+
+    def next_training_group(
+        self, remaining: int
+    ) -> list[tuple[MiniBatch, IterationMetrics]]:
+        """Produce the next merged group of training iterations.
+
+        Samples ahead, pops the accumulator-merged group, serves its feature
+        requests and returns ``(mini-batch, metrics)`` pairs in iteration
+        order.  ``remaining`` caps the group size so a run of ``N``
+        iterations never aggregates work past its end — callers that step
+        iteration-by-iteration (the training pipeline, checkpointing) get
+        the exact grouping a single :meth:`run`/:meth:`iter_batches` call
+        would produce.
+        """
+        if remaining <= 0:
+            raise ConfigError("remaining must be positive")
+        group = self._next_group(remaining=remaining)
+        metrics = self._aggregate_group(group)
+        return [(entry.batch, m) for entry, m in zip(group, metrics)]
 
     def iter_batches(
         self, num_iterations: int
@@ -499,13 +510,99 @@ class GIDSDataLoader:
             raise ConfigError("num_iterations must be positive")
         produced = 0
         while produced < num_iterations:
-            group = self._next_group(remaining=num_iterations - produced)
-            self._aggregate_group(group)
-            for entry in group:
-                yield entry.batch, self.store.fetch(entry.batch.input_nodes)
+            pairs = self.next_training_group(num_iterations - produced)
+            for batch, _ in pairs:
+                yield batch, self.store.fetch(batch.input_nodes)
                 produced += 1
-                if produced >= num_iterations:
-                    break
+
+    @property
+    def sim_now_s(self) -> float:
+        """Simulated time consumed so far (modeled seconds, monotonic)."""
+        return self._sim_now_s
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot every piece of mutable loader state.
+
+        Captures the shared sampling RNG (which also drives the sampler and
+        the seed-stream shuffles), the seed stream's epoch position, the GPU
+        cache (contents, pinning counters, its private eviction RNG and
+        stats), the queued window entries, the accumulator's smoothed
+        redirect fraction, the simulated clock and — when fault injection is
+        active — the injector's stream position and the degradable array's
+        clock.  Restoring all of it into a freshly constructed loader with
+        identical arguments makes the continuation bit-identical to a run
+        that never stopped.
+        """
+        state = {
+            "loader_name": self.name,
+            "batch_size": self.batch_size,
+            "rng": self._rng.bit_generator.state,
+            "seed_stream": self._seed_stream.state_dict(),
+            "cache": self.cache.state_dict(),
+            "window": self.window.state_dict(),
+            "accumulator": (
+                None
+                if self.accumulator is None
+                else self.accumulator.state_dict()
+            ),
+            "cpu_buffer": (
+                None
+                if self.cpu_buffer is None
+                else self.cpu_buffer.state_dict()
+            ),
+            "sim_now_s": self._sim_now_s,
+            "faults": None,
+        }
+        if self.faults is not None:
+            state["faults"] = {
+                "injector": self.faults.state_dict(),
+                "array": self.fault_array.state_dict(),
+            }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the state captured by :meth:`state_dict`.
+
+        The loader must have been constructed with the same dataset, system
+        and configuration as the one that produced the snapshot; structural
+        mismatches (loader kind, batch size, cache geometry, window depth,
+        fault support) raise :class:`~repro.errors.CheckpointError`.
+        """
+        if state.get("loader_name") != self.name:
+            raise CheckpointError(
+                f"checkpoint was written by loader "
+                f"{state.get('loader_name')!r}, not {self.name!r}"
+            )
+        if state.get("batch_size") != self.batch_size:
+            raise CheckpointError(
+                f"checkpoint batch size {state.get('batch_size')} does not "
+                f"match configured {self.batch_size}"
+            )
+        for attr, key in (
+            ("accumulator", "accumulator"),
+            ("cpu_buffer", "cpu_buffer"),
+            ("faults", "faults"),
+        ):
+            if (getattr(self, attr) is None) != (state.get(key) is None):
+                raise CheckpointError(
+                    f"checkpoint {key} state does not match the loader "
+                    f"configuration (one side has it disabled)"
+                )
+        self._rng.bit_generator.state = state["rng"]
+        self._seed_stream.load_state_dict(state["seed_stream"])
+        self.cache.load_state_dict(state["cache"])
+        self.window.load_state_dict(state["window"])
+        if self.accumulator is not None:
+            self.accumulator.load_state_dict(state["accumulator"])
+        if self.cpu_buffer is not None:
+            self.cpu_buffer.load_state_dict(state["cpu_buffer"])
+        self._sim_now_s = float(state["sim_now_s"])
+        if self.faults is not None:
+            self.faults.load_state_dict(state["faults"]["injector"])
+            self.fault_array.load_state_dict(state["faults"]["array"])
 
     def reset_caches(self) -> None:
         """Drop all cache and window state (fresh-run isolation)."""

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cache.gpu_cache import GPUSoftwareCache
-from ..errors import ConfigError
+from ..errors import CheckpointError, ConfigError
 from ..sampling.minibatch import MiniBatch
 
 
@@ -98,3 +98,44 @@ class WindowBuffer:
             entry = self._entries.popleft()
             if self.depth > 0:
                 self.cache.forget_future(entry.pages)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot the queued (pre-sampled, not yet aggregated) iterations.
+
+        The reuse units these entries registered live in the *cache's*
+        snapshot; only the FIFO contents are captured here.
+        """
+        return {
+            "depth": self.depth,
+            "entries": [
+                {
+                    "batch": entry.batch.state_dict(),
+                    "pages": entry.pages.copy(),
+                    "payload": entry.payload,
+                }
+                for entry in self._entries
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore queued entries *without* re-registering their reuse units.
+
+        The paired cache snapshot already holds the registration counts, so
+        pushing through :meth:`push` here would double-pin every page.
+        """
+        if state.get("depth") != self.depth:
+            raise CheckpointError(
+                f"checkpoint window depth {state.get('depth')} does not "
+                f"match configured {self.depth}"
+            )
+        self._entries = deque(
+            WindowEntry(
+                batch=MiniBatch.from_state_dict(entry["batch"]),
+                pages=np.asarray(entry["pages"], dtype=np.int64),
+                payload=entry["payload"],
+            )
+            for entry in state["entries"]
+        )

@@ -46,3 +46,23 @@ class FaultError(ReproError):
 
 class RetryExhaustedError(FaultError):
     """Storage reads kept failing after the retry policy's final attempt."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or applied to a pipeline."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A snapshot file failed its integrity check (magic, version or CRC)."""
+
+
+class SimulatedCrashError(FaultError):
+    """A :class:`~repro.faults.plan.CrashEvent` killed the modeled process."""
+
+
+class StalledRunError(FaultError):
+    """The supervisor's modeled-time watchdog detected a stalled iteration."""
+
+
+class RestartLimitError(FaultError):
+    """The supervisor exhausted its restart budget without finishing the run."""

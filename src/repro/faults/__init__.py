@@ -15,7 +15,7 @@ are drawn and modeled times are bit-identical to a run without the fault
 machinery.
 """
 
-from .plan import DEVICE_EVENT_KINDS, DeviceEvent, FaultPlan
+from .plan import DEVICE_EVENT_KINDS, CrashEvent, DeviceEvent, FaultPlan
 from .retry import RetryPolicy
 from .injector import BatchFaultOutcome, FaultInjector, FaultStats
 from .array import FaultySSDArray
@@ -23,6 +23,7 @@ from .array import FaultySSDArray
 __all__ = [
     "DEVICE_EVENT_KINDS",
     "BatchFaultOutcome",
+    "CrashEvent",
     "DeviceEvent",
     "FaultInjector",
     "FaultPlan",

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import SSDSpec
-from ..errors import FaultError
+from ..errors import CheckpointError, FaultError
 from ..sim.ssd import SSDArray
 from .injector import FaultInjector
 
@@ -41,6 +41,24 @@ class FaultySSDArray:
         if now_s < 0:
             raise FaultError("simulated time cannot be negative")
         self.now_s = now_s
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot the view's simulated clock (its only mutable state)."""
+        return {"now_s": self.now_s}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the clock; the memoized effective array is invalidated."""
+        now_s = state.get("now_s")
+        if not isinstance(now_s, (int, float)) or now_s < 0:
+            raise CheckpointError(
+                f"invalid faulty-array clock in checkpoint: {now_s!r}"
+            )
+        self.now_s = float(now_s)
+        self._cache_key = None
+        self._cache_array = None
 
     # ------------------------------------------------------------------
     # Device state

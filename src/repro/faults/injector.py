@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigError, RetryExhaustedError
+from ..errors import CheckpointError, ConfigError, RetryExhaustedError
 from .plan import FaultPlan
 from .retry import RetryPolicy
 
@@ -35,6 +35,29 @@ class FaultStats:
         self.unrecovered += other.unrecovered
         self.latency_spikes += other.latency_spikes
         self.timeouts += other.timeouts
+
+    def state_dict(self) -> dict:
+        """Plain-dict snapshot (checkpointable)."""
+        return {
+            "injected_failures": self.injected_failures,
+            "retries": self.retries,
+            "unrecovered": self.unrecovered,
+            "latency_spikes": self.latency_spikes,
+            "timeouts": self.timeouts,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FaultStats":
+        known = {
+            "injected_failures", "retries", "unrecovered",
+            "latency_spikes", "timeouts",
+        }
+        unknown = set(state) - known
+        if unknown:
+            raise CheckpointError(
+                f"unknown fault-stats fields: {sorted(unknown)}"
+            )
+        return cls(**{name: int(value) for name, value in state.items()})
 
 
 @dataclass(frozen=True)
@@ -79,6 +102,31 @@ class FaultInjector:
     def rng(self) -> np.random.Generator:
         """The injector's private random stream (for in-slot retry draws)."""
         return self._rng
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot the injector's stream position and cumulative stats.
+
+        The device-event schedule is pure plan data, rebuilt at
+        construction, so only the mutable pieces are captured.
+        """
+        return {
+            "seed": self.plan.seed,
+            "rng": self._rng.bit_generator.state,
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the stream position captured by :meth:`state_dict`."""
+        if state.get("seed") != self.plan.seed:
+            raise CheckpointError(
+                f"fault plan seed {self.plan.seed} does not match "
+                f"checkpoint seed {state.get('seed')}"
+            )
+        self._rng.bit_generator.state = state["rng"]
+        self.stats = FaultStats.from_state_dict(state["stats"])
 
     def retry_failed(self) -> bool:
         """Draw whether one retried command fails again."""

@@ -61,6 +61,32 @@ class DeviceEvent:
 
 
 @dataclass(frozen=True)
+class CrashEvent:
+    """A simulated whole-process crash after a completed training iteration.
+
+    Unlike :class:`DeviceEvent` faults — which the storage stack absorbs
+    in-line — a crash kills the training *process*: the
+    :class:`~repro.checkpoint.supervisor.RunSupervisor` observes it, tears
+    the pipeline down, and restarts from the latest valid snapshot.  Crash
+    events are one-shot: once a crash has fired, the supervisor does not
+    re-fire it after the restart (the modeled process only dies once per
+    event).
+
+    Args:
+        at_iteration: the global completed-iteration count (1-based) after
+            which the process dies.
+    """
+
+    at_iteration: int
+
+    def __post_init__(self) -> None:
+        if self.at_iteration <= 0:
+            raise ConfigError(
+                f"crash iteration must be >= 1, got {self.at_iteration}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, serializable fault scenario for one run.
 
@@ -68,6 +94,11 @@ class FaultPlan:
     request.  The default plan injects nothing: a null plan is guaranteed
     not to perturb modeled times or consume random numbers, so fault
     support is pay-for-what-you-use.
+
+    ``crash_events`` are invisible to the dataloader (a plan containing
+    only crashes is still *null* for the storage stack); they are consumed
+    by the run supervisor, which kills and restarts the training process at
+    the configured iterations.
     """
 
     seed: int = 0
@@ -76,6 +107,7 @@ class FaultPlan:
     tail_latency_rate: float = 0.0
     tail_latency_multiplier: float = 10.0
     device_events: tuple[DeviceEvent, ...] = ()
+    crash_events: tuple[CrashEvent, ...] = ()
     pcie_degradation_factor: float = 1.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
@@ -94,6 +126,9 @@ class FaultPlan:
         object.__setattr__(
             self, "device_events", tuple(self.device_events)
         )
+        object.__setattr__(
+            self, "crash_events", tuple(self.crash_events)
+        )
 
     @property
     def effective_retry_failure_rate(self) -> float:
@@ -103,7 +138,13 @@ class FaultPlan:
         return self.retry_failure_rate
 
     def is_null(self) -> bool:
-        """Whether this plan injects no faults at all."""
+        """Whether this plan injects no faults into the *storage stack*.
+
+        Crash events are deliberately excluded: they model process death,
+        which the supervisor handles above the loader, so a crash-only plan
+        must not activate the loader's fault machinery (whose presence would
+        perturb nothing, but whose absence is the cheaper invariant).
+        """
         return (
             self.read_failure_rate == 0.0
             and self.tail_latency_rate == 0.0
@@ -118,6 +159,7 @@ class FaultPlan:
         """Plain-dict rendering (JSON-safe)."""
         d = asdict(self)
         d["device_events"] = [asdict(e) for e in self.device_events]
+        d["crash_events"] = [asdict(e) for e in self.crash_events]
         return d
 
     @classmethod
@@ -128,7 +170,8 @@ class FaultPlan:
         known = {
             "seed", "read_failure_rate", "retry_failure_rate",
             "tail_latency_rate", "tail_latency_multiplier",
-            "device_events", "pcie_degradation_factor", "retry",
+            "device_events", "crash_events",
+            "pcie_degradation_factor", "retry",
         }
         unknown = set(data) - known
         if unknown:
@@ -140,6 +183,11 @@ class FaultPlan:
             kwargs["device_events"] = tuple(
                 e if isinstance(e, DeviceEvent) else DeviceEvent(**e)
                 for e in kwargs["device_events"]
+            )
+        if "crash_events" in kwargs:
+            kwargs["crash_events"] = tuple(
+                e if isinstance(e, CrashEvent) else CrashEvent(**e)
+                for e in kwargs["crash_events"]
             )
         if "retry" in kwargs and not isinstance(kwargs["retry"], RetryPolicy):
             kwargs["retry"] = RetryPolicy(**kwargs["retry"])

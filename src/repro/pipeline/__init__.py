@@ -1,7 +1,7 @@
 """End-to-end GNN training pipeline: runner and reporting."""
 
 from .metrics import IterationMetrics, RunReport, StageTimes
-from .runner import TrainingPipeline
+from .runner import TrainingPipeline, TrainingResult
 from .export import (
     iterations_to_csv,
     report_to_dict,
@@ -16,6 +16,7 @@ __all__ = [
     "RunReport",
     "StageTimes",
     "TrainingPipeline",
+    "TrainingResult",
     "iterations_to_csv",
     "report_to_dict",
     "report_to_json",

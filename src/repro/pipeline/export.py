@@ -17,7 +17,8 @@ from .metrics import STAGES, RunReport
 
 #: Bump when the exported record layout changes.
 #: v2: added the ``faults`` block and NaN/inf-safe float serialization.
-EXPORT_SCHEMA_VERSION = 2
+#: v3: added the optional ``checkpoint_summary`` block (supervised runs).
+EXPORT_SCHEMA_VERSION = 3
 
 
 def _finite(value: float) -> float | None:
@@ -34,10 +35,25 @@ def _finite(value: float) -> float | None:
     return value if math.isfinite(value) else None
 
 
-def report_to_dict(report: RunReport) -> dict:
-    """Flatten a run report into a JSON-serializable summary dict."""
+def report_to_dict(
+    report: RunReport, *, checkpoint_summary: "object | None" = None
+) -> dict:
+    """Flatten a run report into a JSON-serializable summary dict.
+
+    Args:
+        report: the measured run.
+        checkpoint_summary: optional
+            :class:`~repro.checkpoint.supervisor.CheckpointSummary` (or a
+            plain dict) from a supervised run; exported as the
+            ``checkpoint_summary`` block.  ``None`` (unsupervised runs)
+            exports the block as ``None`` so the schema stays uniform.
+    """
     totals = report.stage_totals
     counters = report.counters
+    if checkpoint_summary is not None and hasattr(
+        checkpoint_summary, "to_dict"
+    ):
+        checkpoint_summary = checkpoint_summary.to_dict()
     return {
         "schema_version": EXPORT_SCHEMA_VERSION,
         "loader": report.loader_name,
@@ -74,10 +90,16 @@ def report_to_dict(report: RunReport) -> dict:
         ),
         "pcie_ingress_bandwidth": _finite(report.pcie_ingress_bandwidth),
         "total_input_nodes": report.total_input_nodes,
+        "checkpoint_summary": checkpoint_summary,
     }
 
 
-def report_to_json(report: RunReport, *, indent: int = 2) -> str:
+def report_to_json(
+    report: RunReport,
+    *,
+    indent: int = 2,
+    checkpoint_summary: "object | None" = None,
+) -> str:
     """JSON rendering of :func:`report_to_dict`.
 
     ``allow_nan=False`` guarantees the output is strict JSON: any
@@ -85,7 +107,10 @@ def report_to_json(report: RunReport, *, indent: int = 2) -> str:
     instead of silently producing an unparseable document.
     """
     return json.dumps(
-        report_to_dict(report), indent=indent, sort_keys=True, allow_nan=False
+        report_to_dict(report, checkpoint_summary=checkpoint_summary),
+        indent=indent,
+        sort_keys=True,
+        allow_nan=False,
     )
 
 

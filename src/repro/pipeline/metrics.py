@@ -47,6 +47,14 @@ class StageTimes:
         self.transfer += other.transfer
         self.training += other.training
 
+    def state_dict(self) -> dict:
+        """Plain-dict snapshot (checkpointable)."""
+        return {stage: getattr(self, stage) for stage in STAGES}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "StageTimes":
+        return cls(**{stage: float(state[stage]) for stage in STAGES})
+
 
 @dataclass
 class IterationMetrics:
@@ -58,6 +66,28 @@ class IterationMetrics:
     num_sampled: int
     num_edges: int
     counters: TransferCounters
+
+    def state_dict(self) -> dict:
+        """Plain-dict snapshot (checkpointable)."""
+        return {
+            "times": self.times.state_dict(),
+            "num_seeds": self.num_seeds,
+            "num_input_nodes": self.num_input_nodes,
+            "num_sampled": self.num_sampled,
+            "num_edges": self.num_edges,
+            "counters": self.counters.state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "IterationMetrics":
+        return cls(
+            times=StageTimes.from_state_dict(state["times"]),
+            num_seeds=int(state["num_seeds"]),
+            num_input_nodes=int(state["num_input_nodes"]),
+            num_sampled=int(state["num_sampled"]),
+            num_edges=int(state["num_edges"]),
+            counters=TransferCounters.from_state_dict(state["counters"]),
+        )
 
 
 @dataclass
@@ -167,3 +197,24 @@ class RunReport:
         if not self.iterations:
             raise PipelineError("run report holds no iterations")
         return self.e2e_time / self.num_iterations
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Plain-dict snapshot of the whole report (checkpointable)."""
+        return {
+            "loader_name": self.loader_name,
+            "overlapped": self.overlapped,
+            "iterations": [it.state_dict() for it in self.iterations],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "RunReport":
+        report = cls(
+            loader_name=str(state["loader_name"]),
+            overlapped=bool(state["overlapped"]),
+        )
+        for it in state["iterations"]:
+            report.append(IterationMetrics.from_state_dict(it))
+        return report

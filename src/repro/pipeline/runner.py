@@ -5,24 +5,44 @@ gradient steps) with the modeled side (per-stage simulated time from the
 loader's :meth:`run`).  Used by the examples to demonstrate that the GIDS
 dataloader trains an actual model, and by integration tests to check the
 loaders agree on the workload they serve.
+
+The pipeline is *stateful and resumable*: it keeps the completed-step
+count, loss history, run report and the queue of already-aggregated but
+not-yet-trained mini-batches as instance state, and :meth:`train` runs a
+requested number of *additional* steps.  A loss is appended only after its
+training step has fully completed, so an interruption at any point can
+never record a half-applied step; together with
+:meth:`state_dict`/:meth:`load_state_dict` this is what makes crash-safe
+checkpoint/resume bit-identical.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
-from ..errors import PipelineError
+from ..errors import CheckpointError, PipelineError
+from ..sampling.minibatch import MiniBatch
 from ..training.graphsage import GraphSAGE, synthetic_labels
+from .metrics import RunReport
 
 
 @dataclass
 class TrainingResult:
-    """Losses and accuracy of a functional training run."""
+    """Losses and accuracy of a functional training run.
+
+    ``completed_iterations`` counts the steps whose weight updates fully
+    applied — always equal to ``len(losses)``, surfaced explicitly so
+    supervised runs can report how far a (possibly interrupted and
+    resumed) run actually got.
+    """
 
     losses: list[float] = field(default_factory=list)
     final_train_accuracy: float = 0.0
+    completed_iterations: int = 0
 
     @property
     def num_steps(self) -> int:
@@ -34,7 +54,10 @@ class TrainingPipeline:
 
     Args:
         loader: any loader exposing ``iter_batches`` (GIDS, BaM, DGL-mmap,
-            Ginex, UVA).
+            Ginex, UVA).  Loaders that additionally expose
+            ``next_training_group`` (GIDS-family) get per-iteration modeled
+            metrics collected into :attr:`report` and support
+            checkpoint/resume.
         model: a :class:`GraphSAGE` whose layer count matches the sampler.
         num_classes: label space size for the synthetic node-classification
             task (labels derive deterministically from node features).
@@ -56,6 +79,20 @@ class TrainingPipeline:
         self.num_classes = num_classes
         self.label_seed = label_seed
 
+        self.completed_steps = 0
+        self.losses: list[float] = []
+        config = getattr(loader, "config", None)
+        self.report = RunReport(
+            loader_name=getattr(loader, "name", type(loader).__name__),
+            overlapped=bool(getattr(config, "accumulator_enabled", False)),
+        )
+        # Aggregated-but-untrained mini-batches: the accumulator merges
+        # several future iterations into one storage batch, so at any
+        # moment some batches have been served but not yet trained on.
+        self._pending: deque[MiniBatch] = deque()
+        self._last_batch: MiniBatch | None = None
+        self._last_features: np.ndarray | None = None
+
     def _labels_for(self, seeds: np.ndarray) -> np.ndarray:
         return synthetic_labels(
             self.loader.store,
@@ -64,22 +101,146 @@ class TrainingPipeline:
             seed=self.label_seed,
         )
 
-    def train(self, num_iterations: int) -> TrainingResult:
-        """Run ``num_iterations`` real training steps; returns the losses."""
+    def train(
+        self,
+        num_iterations: int,
+        *,
+        on_step: Callable[["TrainingPipeline"], None] | None = None,
+    ) -> TrainingResult:
+        """Run ``num_iterations`` *additional* training steps.
+
+        Each step becomes visible (loss appended, ``completed_steps``
+        advanced) only after :meth:`GraphSAGE.train_step` has returned, so
+        an exception at any point — including one raised by ``on_step`` —
+        leaves the pipeline consistent at the last completed step.
+
+        Args:
+            num_iterations: steps to run on top of ``completed_steps``.
+            on_step: optional hook called after every completed step with
+                the pipeline itself; the run supervisor uses it for
+                checkpoint cadence, crash events and the watchdog.  An
+                exception raised here propagates out of ``train``.
+        """
         if num_iterations <= 0:
             raise PipelineError("num_iterations must be positive")
-        result = TrainingResult()
-        last_batch = None
-        last_features = None
-        for batch, features in self.loader.iter_batches(num_iterations):
+        target = self.completed_steps + num_iterations
+        use_groups = hasattr(self.loader, "next_training_group")
+        batch_iter = None
+        if not use_groups:
+            batch_iter = self.loader.iter_batches(num_iterations)
+        while self.completed_steps < target:
+            if use_groups:
+                if not self._pending:
+                    pairs = self.loader.next_training_group(
+                        target - self.completed_steps
+                    )
+                    for batch, metrics in pairs:
+                        self.report.append(metrics)
+                        self._pending.append(batch)
+                batch = self._pending.popleft()
+                features = self.loader.store.fetch(batch.input_nodes)
+            else:
+                batch, features = next(batch_iter)
             labels = self._labels_for(batch.seeds)
             loss = self.model.train_step(batch, features, labels)
-            result.losses.append(loss)
-            last_batch, last_features = batch, features
-        if last_batch is not None:
-            predictions = self.model.predict(last_batch, last_features)
-            labels = self._labels_for(last_batch.seeds)
+            self.losses.append(loss)
+            self.completed_steps += 1
+            self._last_batch = batch
+            self._last_features = features
+            if on_step is not None:
+                on_step(self)
+        return self.result()
+
+    def result(self) -> TrainingResult:
+        """The run's outcome so far (losses, step count, train accuracy)."""
+        result = TrainingResult(
+            losses=list(self.losses),
+            completed_iterations=self.completed_steps,
+        )
+        if self._last_batch is not None:
+            features = self._last_features
+            if features is None:
+                features = self.loader.store.fetch(
+                    self._last_batch.input_nodes
+                )
+            predictions = self.model.predict(self._last_batch, features)
+            labels = self._labels_for(self._last_batch.seeds)
             result.final_train_accuracy = float(
                 np.mean(predictions == labels)
             )
         return result
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot the whole training run (model, loader, progress).
+
+        Requires a loader with ``state_dict`` support (the GIDS family);
+        the baseline loaders are stateless generators and cannot be
+        checkpointed mid-run.
+        """
+        if not hasattr(self.loader, "state_dict"):
+            raise CheckpointError(
+                f"loader {type(self.loader).__name__} does not support "
+                "checkpointing"
+            )
+        return {
+            "num_classes": self.num_classes,
+            "label_seed": self.label_seed,
+            "completed_steps": self.completed_steps,
+            "losses": list(self.losses),
+            "model": self.model.state_dict(),
+            "loader": self.loader.state_dict(),
+            "report": self.report.state_dict(),
+            "pending": [b.state_dict() for b in self._pending],
+            "last_batch": (
+                None
+                if self._last_batch is None
+                else self._last_batch.state_dict()
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a run captured by :meth:`state_dict`.
+
+        The pipeline must have been constructed over the same task (loader
+        configuration, model shape, class count, label seed) as the one
+        that produced the snapshot.
+        """
+        if not hasattr(self.loader, "load_state_dict"):
+            raise CheckpointError(
+                f"loader {type(self.loader).__name__} does not support "
+                "checkpointing"
+            )
+        if state.get("num_classes") != self.num_classes:
+            raise CheckpointError(
+                f"checkpoint num_classes {state.get('num_classes')} does "
+                f"not match configured {self.num_classes}"
+            )
+        if state.get("label_seed") != self.label_seed:
+            raise CheckpointError(
+                f"checkpoint label_seed {state.get('label_seed')} does "
+                f"not match configured {self.label_seed}"
+            )
+        completed = int(state["completed_steps"])
+        losses = [float(x) for x in state["losses"]]
+        if len(losses) != completed:
+            raise CheckpointError(
+                f"checkpoint records {len(losses)} losses for "
+                f"{completed} completed steps"
+            )
+        self.model.load_state_dict(state["model"])
+        self.loader.load_state_dict(state["loader"])
+        self.completed_steps = completed
+        self.losses = losses
+        self.report = RunReport.from_state_dict(state["report"])
+        self._pending = deque(
+            MiniBatch.from_state_dict(b) for b in state["pending"]
+        )
+        last = state["last_batch"]
+        self._last_batch = (
+            None if last is None else MiniBatch.from_state_dict(last)
+        )
+        # Features are deterministic given the batch; re-fetched lazily.
+        self._last_features = None

@@ -75,3 +75,34 @@ class MiniBatch:
     @property
     def num_layers(self) -> int:
         return len(self.layers)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot of the sampled batch (checkpointable)."""
+        return {
+            "seeds": self.seeds.copy(),
+            "layers": [
+                {"src": layer.src.copy(), "dst": layer.dst.copy()}
+                for layer in self.layers
+            ],
+            "input_nodes": self.input_nodes.copy(),
+            "num_sampled": int(self.num_sampled),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MiniBatch":
+        """Rebuild a batch captured by :meth:`state_dict`."""
+        return cls(
+            seeds=np.asarray(state["seeds"], dtype=np.int64),
+            layers=tuple(
+                SampledLayer(
+                    src=np.asarray(layer["src"], dtype=np.int64),
+                    dst=np.asarray(layer["dst"], dtype=np.int64),
+                )
+                for layer in state["layers"]
+            ),
+            input_nodes=np.asarray(state["input_nodes"], dtype=np.int64),
+            num_sampled=int(state["num_sampled"]),
+        )

@@ -6,7 +6,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from ..errors import SamplingError
+from ..errors import CheckpointError, SamplingError
 from ..utils import as_rng
 
 
@@ -41,3 +41,86 @@ def epoch_seed_batches(
         if drop_last and len(batch) < batch_size:
             return
         yield batch
+
+
+class SeedBatchStream:
+    """Endless, *resumable* stream of shuffled seed batches.
+
+    Behaves exactly like chaining :func:`epoch_seed_batches` epoch after
+    epoch — one ``rng.permutation`` draw per epoch, at the moment the
+    previous epoch runs dry — but keeps its position (current epoch order +
+    cursor) as explicit state so a checkpoint can capture it mid-epoch and a
+    resumed run continues with the identical batch sequence.
+
+    Args:
+        train_ids: labeled node ids.
+        batch_size: seeds per mini-batch.
+        rng: the generator the per-epoch shuffles draw from (shared with the
+            caller, so checkpointing the generator's bit state elsewhere is
+            enough to replay the shuffles).
+    """
+
+    def __init__(
+        self,
+        train_ids: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> None:
+        train_ids = np.asarray(train_ids, dtype=np.int64)
+        if batch_size <= 0:
+            raise SamplingError(
+                f"batch size must be positive, got {batch_size}"
+            )
+        if len(train_ids) == 0:
+            raise SamplingError("train_ids must not be empty")
+        self._train_ids = train_ids
+        self._batch_size = batch_size
+        self._rng = rng
+        self._order: np.ndarray | None = None
+        self._pos = 0
+
+    def next(self) -> np.ndarray:
+        """The next seed batch, starting a new shuffled epoch when needed."""
+        if self._order is None or self._pos >= len(self._order):
+            self._order = self._train_ids[
+                self._rng.permutation(len(self._train_ids))
+            ]
+            self._pos = 0
+        batch = self._order[self._pos : self._pos + self._batch_size]
+        self._pos += self._batch_size
+        return batch
+
+    def __next__(self) -> np.ndarray:
+        return self.next()
+
+    def __iter__(self) -> "SeedBatchStream":
+        return self
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Current epoch order and cursor (the RNG is captured by the owner)."""
+        return {
+            "batch_size": self._batch_size,
+            "num_train_ids": len(self._train_ids),
+            "order": None if self._order is None else self._order.copy(),
+            "pos": self._pos,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the epoch position captured by :meth:`state_dict`."""
+        if state.get("batch_size") != self._batch_size:
+            raise CheckpointError(
+                f"checkpoint batch size {state.get('batch_size')} does not "
+                f"match configured {self._batch_size}"
+            )
+        if state.get("num_train_ids") != len(self._train_ids):
+            raise CheckpointError(
+                "checkpoint training-set size does not match the dataset"
+            )
+        order = state["order"]
+        self._order = (
+            None if order is None else np.asarray(order, dtype=np.int64).copy()
+        )
+        self._pos = int(state["pos"])

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+from ..errors import CheckpointError
+
 
 @dataclass
 class TransferCounters:
@@ -86,3 +88,23 @@ class TransferCounters:
         return TransferCounters(
             **{f.name: getattr(self, f.name) for f in fields(self)}
         )
+
+    def state_dict(self) -> dict:
+        """Plain-dict snapshot (checkpointable; inverse of
+        :meth:`from_state_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "TransferCounters":
+        """Rebuild counters captured by :meth:`state_dict`.
+
+        Unknown keys are rejected so a stale checkpoint from a different
+        schema fails loudly instead of dropping counts silently.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(state) - known
+        if unknown:
+            raise CheckpointError(
+                f"unknown transfer-counter fields: {sorted(unknown)}"
+            )
+        return cls(**{name: int(value) for name, value in state.items()})

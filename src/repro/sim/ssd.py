@@ -115,7 +115,15 @@ class SSDArray:
             )
         overhead = self.t_init_s + self.t_term_s
         t_steady = target_fraction / (1.0 - target_fraction) * overhead
-        return int(np.ceil(t_steady * self.peak_iops))
+        n = int(np.ceil(t_steady * self.peak_iops))
+        # The closed-form ceil can land one short of the target when
+        # t_steady * peak_iops is an exact integer up to float rounding
+        # (e.g. 45 requests achieving 499999.99999... of a 500000 target);
+        # walk forward until the Eq. 2-3 forward model actually agrees.
+        target_iops = target_fraction * self.peak_iops
+        while n > 0 and self.achieved_iops(n) < target_iops:
+            n += 1
+        return n
 
 
 class SSDMicrobench:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .errors import ConfigError
+
 #: Factors used by :func:`format_bytes` / :func:`parse_size`.
 _UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
 
@@ -22,7 +24,7 @@ def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
 def format_bytes(n: float) -> str:
     """Render a byte count with a binary-ish 1000-based unit, e.g. ``1.5 GB``."""
     if n < 0:
-        raise ValueError(f"byte count must be non-negative, got {n}")
+        raise ConfigError(f"byte count must be non-negative, got {n}")
     value = float(n)
     for unit in _UNITS:
         if value < 1000.0 or unit == _UNITS[-1]:
@@ -36,7 +38,7 @@ def format_bytes(n: float) -> str:
 def format_time(seconds: float) -> str:
     """Render a duration with an adaptive unit (ns/us/ms/s)."""
     if seconds < 0:
-        raise ValueError(f"duration must be non-negative, got {seconds}")
+        raise ConfigError(f"duration must be non-negative, got {seconds}")
     if seconds >= 1.0:
         return f"{seconds:.3f} s"
     if seconds >= 1e-3:
@@ -49,7 +51,7 @@ def format_time(seconds: float) -> str:
 def format_rate(per_second: float) -> str:
     """Render an operation rate, e.g. ``1.5M/s``."""
     if per_second < 0:
-        raise ValueError(f"rate must be non-negative, got {per_second}")
+        raise ConfigError(f"rate must be non-negative, got {per_second}")
     for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
         if per_second >= factor:
             return f"{per_second / factor:.2f}{suffix}/s"
@@ -59,7 +61,7 @@ def format_rate(per_second: float) -> str:
 def ceil_div(a: int, b: int) -> int:
     """Integer ceiling division for non-negative ``a`` and positive ``b``."""
     if b <= 0:
-        raise ValueError(f"divisor must be positive, got {b}")
+        raise ConfigError(f"divisor must be positive, got {b}")
     if a < 0:
-        raise ValueError(f"dividend must be non-negative, got {a}")
+        raise ConfigError(f"dividend must be non-negative, got {a}")
     return -(-a // b)

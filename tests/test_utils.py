@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigError
 from repro.utils import as_rng, ceil_div, format_bytes, format_rate, format_time
 
 
@@ -34,7 +35,7 @@ class TestFormatBytes:
         assert format_bytes(2.773e12) == "2.8 TB"
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             format_bytes(-1)
 
 
@@ -52,7 +53,7 @@ class TestFormatTime:
         assert format_time(5e-9) == "5.0 ns"
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             format_time(-0.1)
 
 
@@ -64,7 +65,7 @@ class TestFormatRate:
         assert format_rate(3.0) == "3.00/s"
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             format_rate(-1.0)
 
 
@@ -79,9 +80,9 @@ class TestCeilDiv:
         assert ceil_div(0, 4) == 0
 
     def test_zero_divisor_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             ceil_div(4, 0)
 
     def test_negative_dividend_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             ceil_div(-1, 4)
