@@ -46,6 +46,7 @@ from .errors import (
     SimulatedCrashError,
     StalledRunError,
     StorageError,
+    TelemetryError,
 )
 from .faults import (
     CrashEvent,
@@ -116,6 +117,18 @@ from .sampling import (
 )
 from .sim import CPUModel, GPUModel, PageCache, PCIeLink, SSDArray, SSDMicrobench
 from .storage import FeatureStore, PageLayout
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    render_trace,
+    summarize,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .training import GraphSAGE, synthetic_labels
 
 __version__ = "1.0.0"
@@ -149,6 +162,7 @@ __all__ = [
     "SimulatedCrashError",
     "StalledRunError",
     "StorageError",
+    "TelemetryError",
     # fault injection & resilience
     "CrashEvent",
     "DeviceEvent",
@@ -226,6 +240,17 @@ __all__ = [
     # storage
     "FeatureStore",
     "PageLayout",
+    # telemetry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "render_trace",
+    "summarize",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     # training
     "GraphSAGE",
     "synthetic_labels",

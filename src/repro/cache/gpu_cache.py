@@ -53,6 +53,11 @@ class GPUSoftwareCache:
         self.policy = policy
         self._rng = as_rng(seed)
         self.stats = CacheStats()
+        #: Optional telemetry tracer (attached by the owning loader, never
+        #: checkpointed here — the loader snapshots it).  Only consulted at
+        #: request detail, so untraced caches pay one ``is None`` check per
+        #: eviction.
+        self.tracer = None
 
         # page -> future reuse counter, resident pages only.
         self._reuse: dict[int, int] = {}
@@ -131,6 +136,9 @@ class GPUSoftwareCache:
         self._unmark_evictable(page)
         del self._reuse[page]
         self.stats.evictions += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.want_request_detail:
+            tracer.instant("cache.evict", "gpu.cache", page=page)
 
     # ------------------------------------------------------------------
     # Window-buffer interface

@@ -11,7 +11,14 @@ Commands:
 * ``figure`` — regenerate one paper figure/table by name.
 * ``train`` — functional GraphSAGE training through the GIDS loader, with
   the same supervised checkpoint/resume flags.
+* ``trace`` — render a saved Chrome-trace JSON as an ASCII timeline.
 * ``ssd-model`` — print the Eq. 2-3 bandwidth model for an SSD.
+
+``run`` and ``train`` accept ``--trace out.json`` (plus ``--trace-detail
+stage|request``) to record the run's modeled-time telemetry as a Chrome
+trace-event file, loadable in ``chrome://tracing`` / Perfetto or rendered
+with the ``trace`` subcommand.  ``repro --version`` prints the package
+version.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import sys
 
 from .bench.tables import render_table
 from .config import INTEL_OPTANE, SAMSUNG_980PRO, SSDSpec
+from .utils import package_version
 
 _SSDS: dict[str, SSDSpec] = {
     "optane": INTEL_OPTANE,
@@ -72,10 +80,49 @@ def _add_checkpoint_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="JSON_PATH",
+        default=None,
+        help="record modeled-time telemetry and write a Chrome trace-event "
+        "file (open in chrome://tracing / Perfetto, or render with "
+        "'repro trace')",
+    )
+    parser.add_argument(
+        "--trace-detail",
+        choices=["stage", "request"],
+        default="stage",
+        help="trace granularity: per-iteration stage spans only, or also "
+        "per-resource spans and instant events (default: stage)",
+    )
+
+
+def _make_tracer(args: argparse.Namespace):
+    """Build the tracer behind ``--trace``, or ``None`` when not tracing."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from .telemetry import Tracer
+
+    return Tracer(enabled=True, detail=args.trace_detail)
+
+
+def _write_trace(tracer, path: str) -> None:
+    from .telemetry import write_chrome_trace
+
+    events = write_chrome_trace(tracer, path)
+    print(f"wrote {events} trace events to {path}", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GIDS reproduction (PVLDB 17(6), 2024)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -104,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulated process crashes)",
     )
     _add_checkpoint_args(run)
+    _add_trace_args(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -123,6 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
         "file",
     )
     _add_checkpoint_args(train)
+    _add_trace_args(train)
+
+    trace = sub.add_parser(
+        "trace", help="render a saved Chrome trace as an ASCII timeline"
+    )
+    trace.add_argument("path", help="trace JSON written by --trace")
+    trace.add_argument(
+        "--width",
+        type=int,
+        default=72,
+        metavar="COLS",
+        help="timeline width in characters (default: 72)",
+    )
 
     ssd = sub.add_parser("ssd-model", help="Eq. 2-3 bandwidth model")
     ssd.add_argument("--ssd", choices=sorted(_SSDS), default="optane")
@@ -204,9 +265,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         fault_plan = FaultPlan.from_json_file(args.fault_plan)
 
+    if args.trace is not None and args.loader not in ("gids", "bam"):
+        print(
+            "error: --trace requires --loader gids or bam (the baseline "
+            "loaders are not instrumented)",
+            file=sys.stderr,
+        )
+        return 2
+    tracer = _make_tracer(args)
+
     if args.checkpoint_dir is not None:
         return _cmd_run_supervised(
-            args, workload, system, config, common, fault_plan
+            args, workload, system, config, common, fault_plan, tracer
         )
 
     heterogeneous = workload.dataset.hetero is not None
@@ -221,13 +291,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             loader = GIDSDataLoader(
                 workload.dataset, system, config,
                 hot_nodes=workload.hot_nodes, fault_plan=fault_plan,
-                **common,
+                tracer=tracer, **common,
             )
             reports.append(loader.run(args.iterations, warmup=10))
         elif kind == "bam":
             loader = BaMDataLoader(
                 workload.dataset, system, config, fault_plan=fault_plan,
-                **common,
+                tracer=tracer, **common,
             )
             reports.append(loader.run(args.iterations, warmup=10))
         elif kind == "ginex":
@@ -254,8 +324,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not reports:
         print("no loader could run on this workload", file=sys.stderr)
         return 1
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     if args.format == "json":
-        print("[" + ",\n".join(report_to_json(r) for r in reports) + "]")
+        # --trace implies a single traced loader, so the tracer (when
+        # present) belongs to the one report in the list.
+        print(
+            "["
+            + ",\n".join(report_to_json(r, tracer=tracer) for r in reports)
+            + "]"
+        )
     elif args.format == "csv":
         print(reports_to_comparison_csv(reports), end="")
     else:
@@ -282,13 +360,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_supervised(
-    args, workload, system, config, common, fault_plan
+    args, workload, system, config, common, fault_plan, tracer=None
 ) -> int:
     """``run --checkpoint-dir``: crash-safe supervised functional training.
 
     Snapshot/resume requires the stateful GIDS-family loaders; the run
     report covers every trained iteration (no warmup split) and the JSON
-    export carries the ``checkpoint_summary`` block.
+    export carries the ``checkpoint_summary`` block.  The tracer (if any)
+    is created once out here and re-attached on every restart attempt:
+    restoring a snapshot restores the trace recorded up to it, so a
+    killed-and-resumed run still emits one seamless trace.
     """
     from .core.bam import BaMDataLoader
     from .core.gids import GIDSDataLoader
@@ -313,7 +394,7 @@ def _cmd_run_supervised(
             kwargs["hot_nodes"] = workload.hot_nodes
         loader = loader_cls(
             workload.dataset, system, config,
-            fault_plan=fault_plan, **kwargs,
+            fault_plan=fault_plan, tracer=tracer, **kwargs,
         )
         model = GraphSAGE(
             workload.dataset.feature_dim, 32, 8, num_layers=len(
@@ -325,10 +406,14 @@ def _cmd_run_supervised(
     supervisor = _make_supervisor(args, pipeline_factory)
     outcome = supervisor.run(args.iterations)
     summary = outcome.summary
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
 
     if args.format == "json":
         print(
-            report_to_json(outcome.report, checkpoint_summary=summary)
+            report_to_json(
+                outcome.report, checkpoint_summary=summary, tracer=tracer
+            )
         )
     else:
         report = outcome.report
@@ -383,11 +468,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         from .faults import FaultPlan
 
         fault_plan = FaultPlan.from_json_file(args.fault_plan)
+    tracer = _make_tracer(args)
 
     def pipeline_factory() -> TrainingPipeline:
         loader = GIDSDataLoader(
             dataset, system, config, batch_size=args.batch_size,
-            fanouts=(5, 5), seed=1, fault_plan=fault_plan,
+            fanouts=(5, 5), seed=1, fault_plan=fault_plan, tracer=tracer,
         )
         model = GraphSAGE(
             dataset.feature_dim, args.hidden_dim, args.classes,
@@ -403,6 +489,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     else:
         result = pipeline_factory().train(args.iterations)
         summary = None
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     first = sum(result.losses[:5]) / 5
     last = sum(result.losses[-5:]) / 5
     print(f"trained {result.num_steps} steps: loss {first:.4f} -> {last:.4f}")
@@ -413,6 +501,29 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"{summary.restores} restore(s), {summary.crashes} crash(es) "
             f"survived, {summary.corrupted_skipped} corrupted skipped"
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: render a saved Chrome-trace file as an ASCII timeline."""
+    import json
+
+    from .errors import TelemetryError
+    from .telemetry import render_trace, validate_chrome_trace
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.path!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        validate_chrome_trace(trace)
+        print(render_trace(trace, width=args.width))
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -455,6 +566,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "ssd-model":
         return _cmd_ssd_model(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -43,6 +43,10 @@ class DynamicAccessAccumulator:
 
     _redirect_fraction: float = field(default=0.0, init=False)
     _observed: bool = field(default=False, init=False)
+    #: Optional telemetry tracer (attached by the owning loader; excluded
+    #: from comparison/repr so instrumented accumulators still compare
+    #: equal to untraced ones).
+    tracer: object = field(default=None, init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_fraction < 1.0:
@@ -96,6 +100,14 @@ class DynamicAccessAccumulator:
             alpha = self.redirect_smoothing
             self._redirect_fraction = (
                 alpha * sample + (1.0 - alpha) * self._redirect_fraction
+            )
+        tracer = self.tracer
+        if tracer is not None and tracer.want_request_detail:
+            tracer.instant(
+                "accumulator.observe",
+                "accumulator",
+                redirect_fraction=self._redirect_fraction,
+                node_threshold=self.node_threshold,
             )
 
     def should_merge_more(

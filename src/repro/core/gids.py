@@ -29,7 +29,13 @@ from ..cache.cpu_buffer import ConstantCPUBuffer
 from ..cache.gpu_cache import GPUSoftwareCache
 from ..config import LoaderConfig, SystemConfig
 from ..errors import CheckpointError, ConfigError
-from ..faults import FaultInjector, FaultPlan, FaultySSDArray, RetryPolicy
+from ..faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    FaultySSDArray,
+    RetryPolicy,
+)
 from ..graph.datasets import ScaledDataset
 from ..graph.pagerank import hot_node_ranking
 from ..pipeline.metrics import IterationMetrics, RunReport, StageTimes
@@ -42,6 +48,7 @@ from ..sim.gpu import GPUModel
 from ..sim.pcie import PCIeLink
 from ..sim.ssd import SSDArray
 from ..storage.feature_store import FeatureStore
+from ..telemetry import Tracer
 from ..utils import as_rng
 
 
@@ -96,6 +103,13 @@ class GIDSDataLoader:
             ``None`` or a null plan leaves every modeled time bit-identical
             to a loader without fault support.
         retry_policy: overrides the plan's embedded retry policy.
+        tracer: optional :class:`~repro.telemetry.Tracer`.  When attached,
+            the loader records stage spans on the modeled clock (and, at
+            ``"request"`` detail, per-resource spans for the SSD batch,
+            PCIe ingress, HBM reads, CPU-buffer redirects and fault
+            resolution) and publishes transfer counters into the tracer's
+            metrics registry.  ``None`` (the default) records nothing and
+            costs nothing.
     """
 
     name = "GIDS"
@@ -117,6 +131,7 @@ class GIDSDataLoader:
         seed: int | np.random.Generator | None = 0,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if framework_overhead_s < 0:
             raise ConfigError("framework overhead must be non-negative")
@@ -125,6 +140,7 @@ class GIDSDataLoader:
         self.config = config if config is not None else LoaderConfig()
         self.batch_size = batch_size
         self.framework_overhead_s = framework_overhead_s
+        self.tracer = tracer
         self._rng = as_rng(seed)
 
         self.store = FeatureStore(
@@ -161,14 +177,19 @@ class GIDSDataLoader:
         # identical batches regardless of their cache activity.
         self._cache_rng = self._rng.spawn(1)[0]
         self.cache = GPUSoftwareCache(cache_lines, seed=self._cache_rng)
+        self.cache.tracer = tracer
 
         self.cpu_buffer = self._build_cpu_buffer(hot_nodes)
         self.accumulator = self._build_accumulator()
+        if self.accumulator is not None:
+            self.accumulator.tracer = tracer
 
         # Local import to avoid a cycle at module import time.
         from .window import WindowBuffer
 
-        self.window = WindowBuffer(self.cache, self.config.window_depth)
+        self.window = WindowBuffer(
+            self.cache, self.config.window_depth, tracer=tracer
+        )
         self._seed_stream = SeedBatchStream(
             dataset.train_ids, batch_size, self._rng
         )
@@ -315,6 +336,10 @@ class GIDSDataLoader:
         feature_bytes = self.store.feature_bytes
         faults = self.faults
         array = self.ssd
+        tracer = self.tracer
+        group_start_s = self._sim_now_s
+        if tracer is not None:
+            tracer.clock_s = group_start_s
         if faults is not None:
             self.fault_array.advance_to(self._sim_now_s)
             array = self.fault_array
@@ -363,11 +388,26 @@ class GIDSDataLoader:
             + array.batch_service_time(service_requests)
             + fault_extra_time
         )
-        group_time = self.pcie.ingress_time(
+        ingress_time = self.pcie.ingress_time(
             total_storage_bytes,
             storage_time,
             total_cpu_bytes + total_fallback_bytes,
-        ) + self.gpu.hbm_read_time(total_hbm_bytes)
+        )
+        hbm_time = self.gpu.hbm_read_time(total_hbm_bytes)
+        group_time = ingress_time + hbm_time
+
+        if tracer is not None and tracer.want_request_detail:
+            self._trace_group_resources(
+                tracer,
+                group_start_s,
+                storage_time=storage_time,
+                service_requests=service_requests,
+                ingress_time=ingress_time,
+                hbm_time=hbm_time,
+                storage_bytes=total_storage_bytes,
+                cpu_bytes=total_cpu_bytes + total_fallback_bytes,
+                hbm_bytes=total_hbm_bytes,
+            )
 
         if self.accumulator is not None:
             total_requests = sum(c.total_requests for c in per_entry)
@@ -403,10 +443,127 @@ class GIDSDataLoader:
                     counters=counters,
                 )
             )
+        if tracer is not None and tracer.enabled:
+            self._trace_group_stages(tracer, group_start_s, metrics)
+            tracer.metrics.histogram("ssd.batch_service_s").observe(
+                storage_time
+            )
+            tracer.metrics.histogram("pcie.ingress_s").observe(ingress_time)
+
         # Advance the simulated clock so time-triggered device events
         # (dropout/recovery) fire at the right point of the run.
         self._sim_now_s += sum(m.times.total for m in metrics)
+        if tracer is not None:
+            tracer.clock_s = self._sim_now_s
         return metrics
+
+    def _trace_group_resources(
+        self,
+        tracer: Tracer,
+        start_s: float,
+        *,
+        storage_time: float,
+        service_requests: int,
+        ingress_time: float,
+        hbm_time: float,
+        storage_bytes: int,
+        cpu_bytes: int,
+        hbm_bytes: int,
+    ) -> None:
+        """Emit per-resource spans for one merged aggregation batch.
+
+        All streams start at the group's base time (they run concurrently,
+        which is exactly what the lanes should show); the HBM read follows
+        the ingress phase because cached lines are consumed after the batch
+        lands.
+        """
+        if service_requests:
+            tracer.record(
+                "storage_batch",
+                "ssd",
+                start_s=start_s,
+                duration_s=storage_time,
+                requests=service_requests,
+                bytes=storage_bytes,
+            )
+        if ingress_time > 0.0:
+            tracer.record(
+                "ingress",
+                "pcie",
+                start_s=start_s,
+                duration_s=ingress_time,
+                storage_bytes=storage_bytes,
+                cpu_bytes=cpu_bytes,
+            )
+        if hbm_time > 0.0:
+            tracer.record(
+                "hbm_read",
+                "gpu.cache",
+                start_s=start_s + ingress_time,
+                duration_s=hbm_time,
+                bytes=hbm_bytes,
+            )
+        if cpu_bytes:
+            tracer.record(
+                "redirect",
+                "cpu.buffer",
+                start_s=start_s,
+                duration_s=cpu_bytes / self.pcie.cpu_path_bandwidth,
+                bytes=cpu_bytes,
+            )
+
+    def _trace_group_stages(
+        self, tracer: Tracer, start_s: float, metrics: list[IterationMetrics]
+    ) -> None:
+        """Emit per-iteration stage spans and publish transfer counters.
+
+        The span durations are the *same floats* that land in the run
+        report's :class:`~repro.pipeline.metrics.StageTimes`, so per-track
+        trace totals agree exactly with the report's stage totals.  Spans
+        lay out serially from the group's base time — the iteration order
+        a non-overlapped execution would follow — which keeps every lane
+        consistent with the modeled clock advance below.
+        """
+        cursor = start_s
+        for m in metrics:
+            t = m.times
+            iteration = tracer.iteration
+            tracer.record(
+                "sampling",
+                "stage.sampling",
+                start_s=cursor,
+                duration_s=t.sampling,
+                iteration=iteration,
+            )
+            cursor += t.sampling
+            tracer.record(
+                "aggregation",
+                "stage.aggregation",
+                start_s=cursor,
+                duration_s=t.aggregation,
+                iteration=iteration,
+            )
+            cursor += t.aggregation
+            if t.transfer > 0.0:
+                tracer.record(
+                    "transfer",
+                    "stage.transfer",
+                    start_s=cursor,
+                    duration_s=t.transfer,
+                    iteration=iteration,
+                )
+                cursor += t.transfer
+            tracer.record(
+                "training",
+                "stage.training",
+                start_s=cursor,
+                duration_s=t.training,
+                iteration=iteration,
+            )
+            cursor += t.training
+            tracer.iteration = iteration + 1
+            tracer.metrics.histogram("iteration.total_s").observe(t.total)
+            m.counters.publish(tracer.metrics)
 
     def _resolve_group_faults(
         self, per_entry: list[TransferCounters], total_storage_pages: int, array
@@ -445,6 +602,22 @@ class GIDSDataLoader:
                 counters.fallback_bytes += unrecovered * page_bytes
         if outcome.timed_out and per_entry:
             per_entry[0].retry_timeouts += 1
+        tracer = self.tracer
+        if (
+            tracer is not None
+            and tracer.want_request_detail
+            and (extra_time > 0.0 or outcome.injected_failures)
+        ):
+            tracer.record(
+                "fault_resolution",
+                "faults",
+                start_s=self._sim_now_s,
+                duration_s=extra_time,
+                injected=outcome.injected_failures,
+                retries=outcome.retries,
+                unrecovered=outcome.unrecovered,
+                timed_out=outcome.timed_out,
+            )
         return extra_time, total_storage_pages + outcome.retries
 
     # ------------------------------------------------------------------
@@ -463,11 +636,29 @@ class GIDSDataLoader:
         if warmup:
             self._execute(warmup, report=None)
         self.cache.stats.reset()
+        if self.tracer is not None:
+            # Discard warmup spans/metrics so trace totals match the
+            # measured report exactly; the modeled clock keeps running.
+            self.tracer.reset()
+        fault_baseline = (
+            self.faults.stats.state_dict() if self.faults is not None else None
+        )
         report = RunReport(
             loader_name=self.name,
             overlapped=self.config.accumulator_enabled,
         )
         self._execute(num_iterations, report=report)
+        if (
+            self.tracer is not None
+            and self.tracer.enabled
+            and fault_baseline is not None
+        ):
+            # Publish only the measured-run delta so the fault counters in
+            # the registry agree with the report (warmup is excluded).
+            after = self.faults.stats.state_dict()
+            FaultStats(
+                **{k: after[k] - fault_baseline[k] for k in after}
+            ).publish(self.tracer.metrics)
         return report
 
     def _execute(self, n_iterations: int, report: RunReport | None) -> None:
@@ -555,6 +746,9 @@ class GIDSDataLoader:
             ),
             "sim_now_s": self._sim_now_s,
             "faults": None,
+            "tracer": (
+                None if self.tracer is None else self.tracer.state_dict()
+            ),
         }
         if self.faults is not None:
             state["faults"] = {
@@ -603,6 +797,15 @@ class GIDSDataLoader:
         if self.faults is not None:
             self.faults.load_state_dict(state["faults"]["injector"])
             self.fault_array.load_state_dict(state["faults"]["array"])
+        # Tracer state is deliberately lenient: a checkpoint written
+        # without tracing loads into a traced loader (the trace simply
+        # starts at the resume point) and vice versa.  When both sides
+        # carry state, the recorded spans resume seamlessly — events the
+        # crashed run emitted *after* the snapshot are discarded with the
+        # rest of its lost progress.
+        tracer_state = state.get("tracer")
+        if tracer_state is not None and self.tracer is not None:
+            self.tracer.load_state_dict(tracer_state)
 
     def reset_caches(self) -> None:
         """Drop all cache and window state (fresh-run isolation)."""
@@ -612,6 +815,9 @@ class GIDSDataLoader:
             policy=self.cache.policy,
             seed=self._cache_rng,
         )
+        self.cache.tracer = self.tracer
         from .window import WindowBuffer
 
-        self.window = WindowBuffer(self.cache, self.config.window_depth)
+        self.window = WindowBuffer(
+            self.cache, self.config.window_depth, tracer=self.tracer
+        )

@@ -45,13 +45,18 @@ class WindowBuffer:
         cache: the cache whose pinning state this window drives.
         depth: look-ahead depth ``W``; 0 disables window buffering (the
             cache then runs its plain eviction policy).
+        tracer: optional telemetry tracer; pin/unpin traffic is recorded
+            as instants on the ``"window"`` lane at request detail.
     """
 
-    def __init__(self, cache: GPUSoftwareCache, depth: int) -> None:
+    def __init__(
+        self, cache: GPUSoftwareCache, depth: int, tracer=None
+    ) -> None:
         if depth < 0:
             raise ConfigError("window depth must be non-negative")
         self.cache = cache
         self.depth = depth
+        self.tracer = tracer
         self._entries: deque[WindowEntry] = deque()
 
     def __len__(self) -> int:
@@ -76,6 +81,14 @@ class WindowBuffer:
         if self.depth > 0:
             self.cache.register_future(entry.pages)
         self._entries.append(entry)
+        tracer = self.tracer
+        if tracer is not None and tracer.want_request_detail:
+            tracer.instant(
+                "window.pin",
+                "window",
+                pages=int(entry.pages.size),
+                queued=len(self._entries),
+            )
 
     def pop(self) -> WindowEntry:
         """Remove and return the oldest iteration for aggregation.
@@ -86,7 +99,16 @@ class WindowBuffer:
         """
         if not self._entries:
             raise ConfigError("window buffer is empty")
-        return self._entries.popleft()
+        entry = self._entries.popleft()
+        tracer = self.tracer
+        if tracer is not None and tracer.want_request_detail:
+            tracer.instant(
+                "window.pop",
+                "window",
+                pages=int(entry.pages.size),
+                queued=len(self._entries),
+            )
+        return entry
 
     def drain(self) -> None:
         """Drop all queued iterations, un-registering their reuse units.
@@ -94,10 +116,15 @@ class WindowBuffer:
         Used at the end of a measured run so pinned lines do not leak into
         subsequent experiments.
         """
+        tracer = self.tracer
         while self._entries:
             entry = self._entries.popleft()
             if self.depth > 0:
                 self.cache.forget_future(entry.pages)
+            if tracer is not None and tracer.want_request_detail:
+                tracer.instant(
+                    "window.unpin", "window", pages=int(entry.pages.size)
+                )
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -48,6 +48,10 @@ class RetryExhaustedError(FaultError):
     """Storage reads kept failing after the retry policy's final attempt."""
 
 
+class TelemetryError(ReproError):
+    """A tracer, metric, or trace export was used or formed inconsistently."""
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be written, read, or applied to a pipeline."""
 

@@ -36,6 +36,17 @@ class FaultStats:
         self.latency_spikes += other.latency_spikes
         self.timeouts += other.timeouts
 
+    def publish(self, registry, prefix: str = "faults") -> None:
+        """Add the current counts into a telemetry metrics registry.
+
+        One counter per field, named ``{prefix}.{field}``.  Adds (does not
+        overwrite), so publish a cumulative stats object at most once per
+        registry — typically right before export.
+        """
+        for name, value in self.state_dict().items():
+            if value:
+                registry.counter(f"{prefix}.{name}").inc(value)
+
     def state_dict(self) -> dict:
         """Plain-dict snapshot (checkpointable)."""
         return {

@@ -13,12 +13,15 @@ import json
 import math
 
 from ..errors import PipelineError
+from ..utils import package_version
 from .metrics import STAGES, RunReport
 
 #: Bump when the exported record layout changes.
 #: v2: added the ``faults`` block and NaN/inf-safe float serialization.
 #: v3: added the optional ``checkpoint_summary`` block (supervised runs).
-EXPORT_SCHEMA_VERSION = 3
+#: v4: added ``repro_version`` and the optional ``telemetry`` block
+#:     (traced runs: per-track span seconds and the metrics registry).
+EXPORT_SCHEMA_VERSION = 4
 
 
 def _finite(value: float) -> float | None:
@@ -36,7 +39,10 @@ def _finite(value: float) -> float | None:
 
 
 def report_to_dict(
-    report: RunReport, *, checkpoint_summary: "object | None" = None
+    report: RunReport,
+    *,
+    checkpoint_summary: "object | None" = None,
+    tracer: "object | None" = None,
 ) -> dict:
     """Flatten a run report into a JSON-serializable summary dict.
 
@@ -47,6 +53,10 @@ def report_to_dict(
             plain dict) from a supervised run; exported as the
             ``checkpoint_summary`` block.  ``None`` (unsupervised runs)
             exports the block as ``None`` so the schema stays uniform.
+        tracer: optional :class:`~repro.telemetry.Tracer` whose
+            :meth:`~repro.telemetry.Tracer.export_block` becomes the
+            ``telemetry`` block; ``None`` (untraced runs) exports the
+            block as ``None``.
     """
     totals = report.stage_totals
     counters = report.counters
@@ -54,8 +64,12 @@ def report_to_dict(
         checkpoint_summary, "to_dict"
     ):
         checkpoint_summary = checkpoint_summary.to_dict()
+    telemetry = None
+    if tracer is not None and getattr(tracer, "enabled", True):
+        telemetry = tracer.export_block()
     return {
         "schema_version": EXPORT_SCHEMA_VERSION,
+        "repro_version": package_version(),
         "loader": report.loader_name,
         "iterations": report.num_iterations,
         "overlapped": report.overlapped,
@@ -91,6 +105,7 @@ def report_to_dict(
         "pcie_ingress_bandwidth": _finite(report.pcie_ingress_bandwidth),
         "total_input_nodes": report.total_input_nodes,
         "checkpoint_summary": checkpoint_summary,
+        "telemetry": telemetry,
     }
 
 
@@ -99,6 +114,7 @@ def report_to_json(
     *,
     indent: int = 2,
     checkpoint_summary: "object | None" = None,
+    tracer: "object | None" = None,
 ) -> str:
     """JSON rendering of :func:`report_to_dict`.
 
@@ -107,7 +123,9 @@ def report_to_json(
     instead of silently producing an unparseable document.
     """
     return json.dumps(
-        report_to_dict(report, checkpoint_summary=checkpoint_summary),
+        report_to_dict(
+            report, checkpoint_summary=checkpoint_summary, tracer=tracer
+        ),
         indent=indent,
         sort_keys=True,
         allow_nan=False,

@@ -31,6 +31,10 @@ def render_timeline(
         raise PipelineError("run report holds no iterations")
     if width < 20:
         raise PipelineError("width must be at least 20 characters")
+    if max_iterations <= 0:
+        raise PipelineError(
+            f"max_iterations must be positive, got {max_iterations}"
+        )
     iterations = report.iterations[:max_iterations]
 
     # Schedule: prep is always serial with itself; training of iteration i
@@ -74,6 +78,7 @@ def render_timeline(
         f"({'overlapped' if report.overlapped else 'serial'})",
         "prep  |" + lane(prep_spans, "0123456789ab"),
         "train |" + lane(train_spans, "0123456789ab"),
+        "      |" + _axis_line(width, total),
     ]
     busy_train = sum(e - s for s, e in train_spans) / total
     lines.append(
@@ -81,3 +86,20 @@ def render_timeline(
         " (digits identify iterations)"
     )
     return "\n".join(lines)
+
+
+def _axis_line(width: int, total: float) -> str:
+    """Time-axis ruler: 0, the midpoint and the end in adaptive units."""
+    cells = [" "] * width
+    cells[0] = "0"
+    mid = format_time(total / 2)
+    start = max(2, width // 2 - len(mid) // 2)
+    for offset, char in enumerate(mid):
+        if start + offset < width:
+            cells[start + offset] = char
+    right = format_time(total)
+    start = max(0, width - len(right))
+    for offset, char in enumerate(right):
+        if start + offset < width:
+            cells[start + offset] = char
+    return "".join(cells)

@@ -89,6 +89,20 @@ class TransferCounters:
             **{f.name: getattr(self, f.name) for f in fields(self)}
         )
 
+    def publish(self, registry, prefix: str = "transfer") -> None:
+        """Add the current counts into a telemetry metrics registry.
+
+        One :class:`~repro.telemetry.metrics.Counter` per field, named
+        ``{prefix}.{field}``.  Publishing *adds*, so per-iteration counter
+        objects (the loaders' granularity) can publish as they are produced
+        and the registry accumulates the run total; publish a cumulative
+        snapshot at most once.  The existing accounting API is unchanged.
+        """
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value:
+                registry.counter(f"{prefix}.{f.name}").inc(value)
+
     def state_dict(self) -> dict:
         """Plain-dict snapshot (checkpointable; inverse of
         :meth:`from_state_dict`)."""

@@ -76,6 +76,7 @@ class NVMeQueueSim:
         latency_cv: float = 0.15,
         seed: int | np.random.Generator | None = 0,
         fault_injector: "FaultInjector | None" = None,
+        tracer=None,
     ) -> None:
         if latency_cv < 0:
             raise ConfigError("latency_cv must be non-negative")
@@ -84,6 +85,7 @@ class NVMeQueueSim:
         self.latency_cv = latency_cv
         self._rng = as_rng(seed)
         self.fault_injector = fault_injector
+        self.tracer = tracer
         #: Commands that completed with CQ error status in the last run().
         self.last_cq_errors = 0
 
@@ -158,7 +160,19 @@ class NVMeQueueSim:
             heapq.heappush(device_free, done)
             completion[i] = done
         elapsed = float(completion.max())
-        return elapsed, n_requests / elapsed
+        iops = n_requests / elapsed
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record(
+                "nvme_kernel",
+                "ssd",
+                start_s=tracer.clock_s,
+                duration_s=elapsed,
+                n_requests=n_requests,
+                iops=iops,
+                cq_errors=self.last_cq_errors,
+            )
+        return elapsed, iops
 
     def _resubmit(self, done: float, inj) -> float:
         """Re-issue one failed command until success or retry exhaustion."""

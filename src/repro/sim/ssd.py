@@ -149,6 +149,7 @@ class SSDMicrobench:
         latency_cv: float = 0.25,
         seed: int | np.random.Generator | None = 0,
         fault_injector: "FaultInjector | None" = None,
+        tracer=None,
     ) -> None:
         if num_ssds <= 0:
             raise ConfigError(f"num_ssds must be positive, got {num_ssds}")
@@ -160,6 +161,7 @@ class SSDMicrobench:
         self.latency_cv = latency_cv
         self._rng = as_rng(seed)
         self.fault_injector = fault_injector
+        self.tracer = tracer
 
     def _draw_latencies(self, n: int) -> np.ndarray:
         """Lognormal service latencies with the configured mean and CV."""
@@ -212,7 +214,18 @@ class SSDMicrobench:
             if done > last_completion:
                 last_completion = done
         elapsed = last_completion + self.gpu.kernel_termination_overhead_s
-        return elapsed, n_requests / elapsed
+        iops = n_requests / elapsed
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record(
+                "microbench_kernel",
+                "ssd",
+                start_s=tracer.clock_s,
+                duration_s=elapsed,
+                n_requests=n_requests,
+                iops=iops,
+            )
+        return elapsed, iops
 
     def _retry_in_slot(self, done: float, inj) -> float:
         """Model bounded in-slot retries of one failed command."""

@@ -1,0 +1,41 @@
+"""Telemetry subsystem: modeled-time tracing, metrics, trace export.
+
+Three pieces (see ``docs/OBSERVABILITY.md``):
+
+* :class:`Tracer` / :class:`Span` — a modeled-time span tracer with one
+  lane per modeled resource and per pipeline stage, zero-cost when
+  disabled, checkpointable for seamless resumed traces;
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` (fixed log-spaced buckets, p50/p95/p99);
+* exporters — Chrome trace-event JSON (``chrome://tracing`` / Perfetto),
+  an ASCII lane renderer for ``python -m repro trace``, and a plain-text
+  per-run summary.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import DETAIL_LEVELS, STAGE_TRACKS, TRACKS, Instant, Span, Tracer
+from .export import (
+    render_trace,
+    summarize,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DETAIL_LEVELS",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "STAGE_TRACKS",
+    "Span",
+    "TRACKS",
+    "Tracer",
+    "render_trace",
+    "summarize",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

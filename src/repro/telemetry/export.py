@@ -1,0 +1,295 @@
+"""Trace exporters: Chrome trace-event JSON, ASCII rendering, text summary.
+
+The Chrome trace-event format (the JSON ``traceEvents`` array understood by
+``chrome://tracing`` and Perfetto) maps cleanly onto the tracer's model:
+each track becomes one named thread lane, spans become complete (``"X"``)
+events and instants become instant (``"i"``) events.  Timestamps are the
+tracer's modeled seconds converted to the format's microseconds.
+
+``render_trace`` draws a saved trace back as the repository's ASCII
+timeline idiom (one labeled lane per track, digits identifying spans, a
+``format_time``-labeled axis), so ``python -m repro trace out.json`` needs
+no browser.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import TelemetryError
+from ..utils import format_time, package_version
+from .tracer import TRACKS, Tracer
+
+#: Microseconds per modeled second (trace-event timestamps are in us).
+_US = 1e6
+
+
+def _track_order(tracks) -> list[str]:
+    """Canonical lanes first, then unknown tracks in first-seen order."""
+    known = [t for t in TRACKS if t in tracks]
+    extra = [t for t in tracks if t not in TRACKS]
+    return known + extra
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Convert a tracer's recording into a Chrome trace-event document."""
+    tracks = _track_order(
+        {s.track for s in tracer.spans}
+        | {i.track for i in tracer.instants}
+    )
+    tids = {track: index for index, track in enumerate(tracks)}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro modeled time"},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": 0,
+                "tid": tids[span.track],
+                "ts": span.start_s * _US,
+                "dur": span.duration_s * _US,
+                "args": dict(span.args),
+            }
+        )
+    for instant in tracer.instants:
+        events.append(
+            {
+                "name": instant.name,
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": tids[instant.track],
+                "ts": instant.at_s * _US,
+                "args": dict(instant.args),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "repro_version": package_version(),
+            "detail": tracer.detail,
+            "clock_s": tracer.clock_s,
+            "span_count": len(tracer.spans),
+            "instant_count": len(tracer.instants),
+            "truncated": tracer.truncated,
+            "metrics": tracer.metrics.to_dict(),
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns event count."""
+    trace = to_chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1, sort_keys=True, allow_nan=False)
+        handle.write("\n")
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_trace(trace: dict) -> int:
+    """Structurally validate a trace-event document; returns event count.
+
+    Raises :class:`~repro.errors.TelemetryError` on the first malformed
+    event.  Used by the CI smoke job and the ``repro trace`` subcommand so
+    a corrupt file fails loudly instead of rendering garbage.
+    """
+    if not isinstance(trace, dict):
+        raise TelemetryError("trace document must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise TelemetryError("trace document lacks a traceEvents array")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TelemetryError(f"traceEvents[{index}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise TelemetryError(
+                    f"traceEvents[{index}] is missing {key!r}"
+                )
+        ph = event["ph"]
+        if ph not in ("X", "i", "M", "C"):
+            raise TelemetryError(
+                f"traceEvents[{index}] has unsupported phase {ph!r}"
+            )
+        if ph in ("X", "i"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise TelemetryError(
+                    f"traceEvents[{index}] has invalid ts {ts!r}"
+                )
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TelemetryError(
+                    f"traceEvents[{index}] has invalid dur {dur!r}"
+                )
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# ASCII rendering
+
+
+def render_trace(trace: dict, *, width: int = 72) -> str:
+    """Render a saved Chrome trace as labeled ASCII lanes.
+
+    One lane per track in the file, spans drawn with cycling digits (the
+    same idiom as :func:`repro.pipeline.timeline.render_timeline`), a time
+    axis labeled with :func:`~repro.utils.format_time`, and per-lane span
+    totals.  Instants are drawn as ``!`` markers on their lane.
+    """
+    if width < 20:
+        raise TelemetryError("width must be at least 20 characters")
+    validate_chrome_trace(trace)
+    events = trace["traceEvents"]
+
+    names: dict[int, str] = {}
+    for event in events:
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            names[event["tid"]] = str(event.get("args", {}).get("name", ""))
+
+    spans: dict[int, list[tuple[float, float, str]]] = {}
+    instants: dict[int, list[float]] = {}
+    for event in events:
+        if event["ph"] == "X":
+            start = event["ts"] / _US
+            spans.setdefault(event["tid"], []).append(
+                (start, start + event["dur"] / _US, event["name"])
+            )
+        elif event["ph"] == "i":
+            instants.setdefault(event["tid"], []).append(event["ts"] / _US)
+    if not spans and not instants:
+        raise TelemetryError("trace holds no span or instant events")
+
+    tids = sorted(set(spans) | set(instants))
+    t_lo = min(
+        [s for lane in spans.values() for s, _, _ in lane]
+        + [t for lane in instants.values() for t in lane]
+    )
+    t_hi = max(
+        [e for lane in spans.values() for _, e, _ in lane]
+        + [t for lane in instants.values() for t in lane]
+    )
+    total = t_hi - t_lo
+    if total <= 0:
+        raise TelemetryError("trace spans no modeled time")
+    scale = (width - 1) / total
+
+    label_width = max(
+        [len(names.get(tid, f"tid{tid}")) for tid in tids] + [5]
+    )
+
+    lines = [
+        f"trace: {sum(len(v) for v in spans.values())} spans on "
+        f"{len(tids)} lanes over {format_time(total)}"
+    ]
+    symbols = "0123456789ab"
+    for tid in tids:
+        cells = [" "] * width
+        for index, (start, end, _) in enumerate(
+            sorted(spans.get(tid, []))
+        ):
+            a = int((start - t_lo) * scale)
+            b = max(a + 1, int((end - t_lo) * scale))
+            mark = symbols[index % len(symbols)]
+            for pos in range(a, min(b, width)):
+                cells[pos] = mark
+        for at in instants.get(tid, []):
+            pos = min(int((at - t_lo) * scale), width - 1)
+            cells[pos] = "!"
+        busy = sum(e - s for s, e, _ in spans.get(tid, []))
+        label = names.get(tid, f"tid{tid}").ljust(label_width)
+        lines.append(
+            f"{label} |{''.join(cells)}| {format_time(busy)}"
+        )
+    axis = _axis_line(width, total)
+    lines.append(" " * label_width + " |" + axis)
+    lines.append(
+        "digits identify spans per lane; '!' marks instant events"
+    )
+    other = trace.get("otherData", {})
+    if other.get("truncated"):
+        lines.append(
+            "warning: trace was truncated at the tracer's event cap"
+        )
+    return "\n".join(lines)
+
+
+def _axis_line(width: int, total: float) -> str:
+    """A ``0 ... total`` ruler labeled with adaptive time units."""
+    cells = [" "] * width
+    cells[0] = "0"
+    right = format_time(total)
+    start = max(1, width - len(right))
+    for offset, char in enumerate(right[: width - start]):
+        cells[start + offset] = char
+    mid = format_time(total / 2)
+    mid_start = (width - len(mid)) // 2
+    if mid_start > 2 and mid_start + len(mid) < start - 1:
+        for offset, char in enumerate(mid):
+            cells[mid_start + offset] = char
+    return "".join(cells)
+
+
+# ----------------------------------------------------------------------
+# Text summary
+
+
+def summarize(tracer: Tracer) -> str:
+    """Plain-text per-run summary: lane totals, metrics, percentiles."""
+    lines = [
+        f"telemetry summary (detail={tracer.detail}, "
+        f"clock {format_time(tracer.clock_s)}, "
+        f"{len(tracer.spans)} spans, {len(tracer.instants)} instants)"
+    ]
+    totals = tracer.track_totals()
+    if totals:
+        name_width = max(len(track) for track in totals)
+        for track, seconds in totals.items():
+            lines.append(
+                f"  {track.ljust(name_width)}  {format_time(seconds)}"
+            )
+    for name, summary in tracer.metrics.to_dict().items():
+        if summary["kind"] == "histogram":
+            lines.append(
+                f"  {name}: n={summary['count']} "
+                f"mean={format_time(summary['mean'])} "
+                f"p50={format_time(summary['p50'])} "
+                f"p95={format_time(summary['p95'])} "
+                f"p99={format_time(summary['p99'])}"
+            )
+        else:
+            lines.append(f"  {name}: {summary['value']}")
+    if tracer.truncated:
+        lines.append(
+            "  warning: event cap reached; trace is truncated"
+        )
+    return "\n".join(lines)

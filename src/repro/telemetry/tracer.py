@@ -1,0 +1,380 @@
+"""Modeled-time span tracer.
+
+Every duration this repository reports is *simulated hardware time*, so the
+tracer records spans on the modeled clock rather than wall clock: the
+instrumented code tells the tracer when (in modeled seconds) an activity
+started and how long it took.  Spans live on named *tracks* — one lane per
+modeled resource (SSD array, PCIe link, GPU software cache, constant CPU
+buffer, window buffer, accumulator, fault machinery) plus one lane per
+pipeline stage — which is exactly the lane layout the Chrome-trace exporter
+emits.
+
+Design constraints:
+
+* **Zero cost when disabled.**  Every recording entry point returns after a
+  single attribute check when ``enabled`` is false; loaders additionally
+  keep ``tracer=None`` as the default so untraced runs pay one ``is None``
+  test per group.
+* **Deterministic.**  The tracer never reads the wall clock; identical runs
+  produce byte-identical traces.
+* **Checkpointable.**  ``state_dict``/``load_state_dict`` round-trip the
+  full recorded state through the PR 2 snapshot path so a killed-and-resumed
+  run emits one seamless trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import TelemetryError
+from .metrics import MetricsRegistry
+
+#: Pipeline-stage lanes (prefix ``stage.``) in execution order.
+STAGE_TRACKS = (
+    "stage.sampling",
+    "stage.aggregation",
+    "stage.transfer",
+    "stage.training",
+)
+
+#: Canonical lane order of the Chrome-trace export: the four pipeline
+#: stages first, then one lane per modeled resource.  Unknown tracks are
+#: appended after these in first-use order.
+TRACKS = STAGE_TRACKS + (
+    "ssd",
+    "pcie",
+    "gpu.cache",
+    "cpu.buffer",
+    "window",
+    "accumulator",
+    "faults",
+)
+
+#: Tracing granularities: ``stage`` records per-iteration stage spans only;
+#: ``request`` additionally records per-group resource spans and instant
+#: events (cache evictions, window pin/unpin, accumulator re-solves...).
+DETAIL_LEVELS = ("stage", "request")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval of modeled time on one track."""
+
+    name: str
+    track: str
+    start_s: float
+    duration_s: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "track": self.track,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "Span":
+        return cls(
+            name=str(state["name"]),
+            track=str(state["track"]),
+            start_s=float(state["start_s"]),
+            duration_s=float(state["duration_s"]),
+            args=dict(state.get("args", {})),
+        )
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration marker event on one track."""
+
+    name: str
+    track: str
+    at_s: float
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "track": self.track,
+            "at_s": self.at_s,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "Instant":
+        return cls(
+            name=str(state["name"]),
+            track=str(state["track"]),
+            at_s=float(state["at_s"]),
+            args=dict(state.get("args", {})),
+        )
+
+
+class _NullSpan:
+    """No-op handle returned by a disabled tracer's :meth:`Tracer.span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def end(self, end_s: float) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context-manager handle for a span whose end is not yet known.
+
+    Child spans recorded while the handle is open extend the parent: on
+    exit the span closes at the explicit :meth:`end` time if one was given,
+    else at the maximum of its start, the tracer's modeled clock and its
+    children's end times — so nested instrumentation composes without the
+    outer code re-deriving totals.
+    """
+
+    __slots__ = ("_tracer", "_name", "_track", "_start_s", "_args", "_end_s",
+                 "_mark")
+
+    def __init__(self, tracer, name, track, start_s, args) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._track = track
+        self._start_s = start_s
+        self._args = args
+        self._end_s: float | None = None
+        self._mark = 0
+
+    def end(self, end_s: float) -> None:
+        """Close the span explicitly at modeled time ``end_s``."""
+        if end_s < self._start_s:
+            raise TelemetryError(
+                f"span {self._name!r} cannot end at {end_s} before its "
+                f"start {self._start_s}"
+            )
+        self._end_s = float(end_s)
+
+    def __enter__(self) -> "_OpenSpan":
+        self._mark = len(self._tracer.spans)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = self._end_s
+        if end is None:
+            end = max(self._start_s, self._tracer.clock_s)
+            for child in self._tracer.spans[self._mark:]:
+                end = max(end, child.end_s)
+        self._tracer.record(
+            self._name,
+            self._track,
+            start_s=self._start_s,
+            duration_s=end - self._start_s,
+            **self._args,
+        )
+        return False
+
+
+class Tracer:
+    """Collects modeled-time spans, instants and metrics for one run.
+
+    Args:
+        enabled: master switch; a disabled tracer records nothing and every
+            entry point is a constant-time no-op.
+        detail: ``"stage"`` or ``"request"`` (see :data:`DETAIL_LEVELS`).
+        max_events: safety cap on recorded spans + instants.  When reached,
+            further events are dropped and :attr:`truncated` is set — the
+            cap is never silent: exports and summaries surface it.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        detail: str = "stage",
+        max_events: int = 200_000,
+    ) -> None:
+        if detail not in DETAIL_LEVELS:
+            raise TelemetryError(
+                f"unknown trace detail {detail!r}; expected one of "
+                f"{DETAIL_LEVELS}"
+            )
+        if max_events <= 0:
+            raise TelemetryError("max_events must be positive")
+        self.enabled = enabled
+        self.detail = detail
+        self.max_events = max_events
+        #: Modeled-time cursor components advance instants against.
+        self.clock_s = 0.0
+        #: Next pipeline-iteration index (used to label stage spans and
+        #: checkpointed so resumed traces continue the numbering).
+        self.iteration = 0
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.truncated = False
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Recording
+
+    @property
+    def want_request_detail(self) -> bool:
+        """True when per-request/per-resource events should be recorded."""
+        return self.enabled and self.detail == "request"
+
+    def _room(self) -> bool:
+        if len(self.spans) + len(self.instants) >= self.max_events:
+            self.truncated = True
+            return False
+        return True
+
+    def record(
+        self,
+        name: str,
+        track: str,
+        *,
+        start_s: float,
+        duration_s: float,
+        **args,
+    ) -> None:
+        """Record one complete span of modeled time."""
+        if not self.enabled:
+            return
+        if not (math.isfinite(start_s) and math.isfinite(duration_s)):
+            raise TelemetryError(
+                f"span {name!r} has non-finite time "
+                f"(start={start_s}, duration={duration_s})"
+            )
+        if duration_s < 0:
+            raise TelemetryError(
+                f"span {name!r} has negative duration {duration_s}"
+            )
+        if self._room():
+            self.spans.append(
+                Span(name, track, float(start_s), float(duration_s), args)
+            )
+
+    def instant(
+        self, name: str, track: str, at_s: float | None = None, **args
+    ) -> None:
+        """Record a zero-duration marker (defaults to the modeled clock)."""
+        if not self.enabled:
+            return
+        at = self.clock_s if at_s is None else float(at_s)
+        if not math.isfinite(at):
+            raise TelemetryError(f"instant {name!r} at non-finite time {at}")
+        if self._room():
+            self.instants.append(Instant(name, track, at, args))
+
+    def span(
+        self, name: str, track: str, start_s: float | None = None, **args
+    ):
+        """Open a nestable span as a context manager.
+
+        The span starts at ``start_s`` (default: the modeled clock) and —
+        unless closed explicitly via ``handle.end(t)`` — ends at the latest
+        of the clock and any child span recorded inside the ``with`` block.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        start = self.clock_s if start_s is None else float(start_s)
+        return _OpenSpan(self, name, track, start, args)
+
+    def advance(self, duration_s: float) -> None:
+        """Move the modeled clock forward by ``duration_s``."""
+        if duration_s < 0:
+            raise TelemetryError("clock can only advance forward")
+        self.clock_s += duration_s
+
+    def reset(self) -> None:
+        """Drop all recorded events and metrics, keeping the clock.
+
+        Loaders call this at the warmup/measurement boundary so trace
+        totals match the measured :class:`~repro.pipeline.metrics.RunReport`
+        exactly (the same reset their cache statistics get).
+        """
+        self.spans.clear()
+        self.instants.clear()
+        self.truncated = False
+        self.iteration = 0
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Aggregation
+
+    def track_totals(self) -> dict[str, float]:
+        """Total span seconds per track (canonical tracks first)."""
+        totals: dict[str, float] = {}
+        for span in self.spans:
+            totals[span.track] = totals.get(span.track, 0.0) + span.duration_s
+        ordered = {t: totals.pop(t) for t in TRACKS if t in totals}
+        ordered.update(totals)
+        return ordered
+
+    def stage_totals(self) -> dict[str, float]:
+        """Total span seconds per pipeline stage (``stage.*`` lanes only)."""
+        totals = self.track_totals()
+        prefix = "stage."
+        return {
+            track[len(prefix):]: totals.get(track, 0.0)
+            for track in STAGE_TRACKS
+        }
+
+    def export_block(self) -> dict:
+        """The ``telemetry`` block of the run-report JSON export (v4)."""
+        return {
+            "detail": self.detail,
+            "clock_s": self.clock_s,
+            "span_count": len(self.spans),
+            "instant_count": len(self.instants),
+            "truncated": self.truncated,
+            "track_seconds": self.track_totals(),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot of everything recorded so far (checkpointable)."""
+        return {
+            "detail": self.detail,
+            "clock_s": self.clock_s,
+            "iteration": self.iteration,
+            "truncated": self.truncated,
+            "spans": [span.to_dict() for span in self.spans],
+            "instants": [inst.to_dict() for inst in self.instants],
+            "metrics": self.metrics.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the recording captured by :meth:`state_dict`.
+
+        The detail level must match: a ``request``-detail snapshot resumed
+        at ``stage`` detail (or vice versa) would splice two incompatible
+        granularities into one file.
+        """
+        if state.get("detail") != self.detail:
+            raise TelemetryError(
+                f"checkpoint trace detail {state.get('detail')!r} does not "
+                f"match configured {self.detail!r}"
+            )
+        self.clock_s = float(state["clock_s"])
+        self.iteration = int(state["iteration"])
+        self.truncated = bool(state["truncated"])
+        self.spans = [Span.from_dict(s) for s in state["spans"]]
+        self.instants = [Instant.from_dict(i) for i in state["instants"]]
+        self.metrics = MetricsRegistry()
+        self.metrics.load_state_dict(state["metrics"])

@@ -58,6 +58,27 @@ def format_rate(per_second: float) -> str:
     return f"{per_second:.2f}/s"
 
 
+def package_version() -> str:
+    """The installed ``repro`` distribution version, with a source fallback.
+
+    Prefers package metadata (the pip-installed truth) and falls back to
+    the in-tree ``repro.__version__`` when running uninstalled from a
+    source checkout (e.g. ``PYTHONPATH=src``).
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        pass
+    import repro
+
+    return getattr(repro, "__version__", "0.0.0")
+
+
 def ceil_div(a: int, b: int) -> int:
     """Integer ceiling division for non-negative ``a`` and positive ``b``."""
     if b <= 0:

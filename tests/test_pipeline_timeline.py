@@ -1,0 +1,109 @@
+"""Edge-case tests for the ASCII pipeline timeline renderer."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline.metrics import IterationMetrics, RunReport, StageTimes
+from repro.pipeline.timeline import _axis_line, render_timeline
+from repro.sim.counters import TransferCounters
+from repro.utils import format_time
+
+
+def build_report(
+    *,
+    overlapped=True,
+    iterations=4,
+    sampling=0.001,
+    aggregation=0.003,
+    training=0.004,
+):
+    report = RunReport("X", overlapped=overlapped)
+    for _ in range(iterations):
+        report.append(
+            IterationMetrics(
+                times=StageTimes(
+                    sampling=sampling, aggregation=aggregation,
+                    transfer=0.0, training=training,
+                ),
+                num_seeds=8,
+                num_input_nodes=50,
+                num_sampled=80,
+                num_edges=60,
+                counters=TransferCounters(),
+            )
+        )
+    return report
+
+
+class TestMaxIterations:
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(PipelineError, match="max_iterations"):
+            render_timeline(build_report(), max_iterations=bad)
+
+    def test_caps_drawn_iterations(self):
+        text = render_timeline(build_report(iterations=8), max_iterations=3)
+        assert "first 3 iterations" in text.splitlines()[0]
+
+    def test_cap_above_length_draws_all(self):
+        text = render_timeline(build_report(iterations=2), max_iterations=50)
+        assert "first 2 iterations" in text.splitlines()[0]
+
+
+class TestAxis:
+    def test_axis_line_present_between_lanes(self):
+        lines = render_timeline(build_report()).splitlines()
+        assert lines[1].startswith("prep  |")
+        assert lines[2].startswith("train |")
+        assert lines[3].startswith("      |")
+
+    def test_axis_carries_formatted_total(self):
+        report = build_report()
+        total_label = render_timeline(report).splitlines()[0].split(" over ")[
+            1
+        ].split(" (")[0]
+        axis = render_timeline(report).splitlines()[3]
+        assert axis.rstrip().endswith(total_label)
+        assert axis[7] == "0"  # origin marker right after the gutter
+
+    def test_axis_midpoint_unit(self):
+        # 4 iterations x 8 ms serial => total 32 ms, midpoint 16 ms.
+        text = render_timeline(build_report(overlapped=False))
+        assert format_time(0.016) in text.splitlines()[3]
+
+    @pytest.mark.parametrize("width", [20, 37, 72, 120])
+    def test_axis_line_respects_width(self, width):
+        assert len(_axis_line(width, 0.5)) == width
+
+    def test_axis_helper_places_endpoints(self):
+        line = _axis_line(60, 1.0)
+        assert line[0] == "0"
+        assert line.endswith(format_time(1.0))
+
+
+class TestDegenerateReports:
+    def test_single_iteration(self):
+        text = render_timeline(build_report(iterations=1))
+        assert "first 1 iterations" in text
+        assert "train |" in text
+
+    def test_zero_total_time_rejected(self):
+        report = build_report(
+            iterations=1, sampling=0.0, aggregation=0.0, training=0.0
+        )
+        with pytest.raises(PipelineError, match="non-zero"):
+            render_timeline(report)
+
+    def test_serial_never_overlaps_lanes(self):
+        lines = render_timeline(
+            build_report(overlapped=False)
+        ).splitlines()
+        prep, train = lines[1][7:], lines[2][7:]
+        overlap = [
+            1 for a, b in zip(prep, train) if a != " " and b != " "
+        ]
+        # Serial schedule: lanes may only touch at cell boundaries.
+        assert len(overlap) <= 1
+
+    def test_utilization_line_present(self):
+        assert "training-lane utilization" in render_timeline(build_report())
