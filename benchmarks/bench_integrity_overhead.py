@@ -1,0 +1,173 @@
+"""Integrity-layer overhead: verify modes x corruption rates on GIDS.
+
+Two experiments:
+
+* a grid of ``verify_reads`` modes crossed with bit-flip rates, pricing
+  what detection costs in modeled epoch time — ``"off"`` must stay
+  within 2% of the no-integrity baseline (the layer is pay-for-what-you-
+  use), ``"full"`` must catch every emitted corruption;
+* the detection-latency scenario — a mid-epoch persistent-corruption
+  storm under full verification plus background scrubbing — reporting
+  the ledger's p50/p95/p99 detection latencies and checking the core
+  invariant (every detection ends as a repair or a quarantine).
+"""
+
+from __future__ import annotations
+
+from repro import (
+    INTEL_OPTANE,
+    CorruptionEvent,
+    FaultPlan,
+    GIDSDataLoader,
+    LoaderConfig,
+    SystemConfig,
+    load_scaled,
+)
+from repro.bench.tables import render_table
+
+MODES = ("off", "sample", "full")
+BITFLIP_RATES = (0.0, 1e-4, 1e-3)
+BATCH_SIZE = 64
+FANOUTS = (5, 5)
+ITERATIONS = 30
+
+
+def _workload():
+    dataset = load_scaled("IGB-tiny", 0.08, seed=3)
+    system = SystemConfig(
+        ssd=INTEL_OPTANE,
+        cpu_memory_limit_bytes=dataset.total_bytes * 0.5,
+    )
+    config = LoaderConfig(
+        gpu_cache_bytes=dataset.feature_data_bytes * 0.05,
+        cpu_buffer_fraction=0.10,
+        window_depth=4,
+    )
+    return dataset, system, config
+
+
+def _loader(dataset, system, config, plan, mode, **kwargs):
+    return GIDSDataLoader(
+        dataset, system, config, batch_size=BATCH_SIZE, fanouts=FANOUTS,
+        seed=1, fault_plan=plan, verify_reads=mode, **kwargs,
+    )
+
+
+def sweep_verify_modes():
+    """(mode, rate) -> (report, loader) for the whole grid + baseline."""
+    dataset, system, config = _workload()
+    baseline = _loader(dataset, system, config, None, "off")
+    cells = {"baseline": (baseline.run(ITERATIONS), baseline)}
+    for mode in MODES:
+        for rate in BITFLIP_RATES:
+            plan = (
+                None if rate == 0.0
+                else FaultPlan(seed=11, bitflip_rate=rate)
+            )
+            loader = _loader(dataset, system, config, plan, mode)
+            cells[(mode, rate)] = (loader.run(ITERATIONS), loader)
+    return cells
+
+
+def test_verify_mode_overhead(benchmark):
+    cells = benchmark.pedantic(sweep_verify_modes, rounds=1, iterations=1)
+    base_report, _ = cells["baseline"]
+    rows = []
+    for mode in MODES:
+        for rate in BITFLIP_RATES:
+            report, loader = cells[(mode, rate)]
+            counters = report.counters
+            rows.append(
+                [
+                    mode, f"{rate:g}",
+                    f"{report.e2e_time * 1e3:.3f}",
+                    f"{report.e2e_time / base_report.e2e_time - 1:+.2%}",
+                    counters.verified_pages,
+                    0 if loader.ledger is None
+                    else loader.ledger.total_detected,
+                ]
+            )
+    print()
+    print(
+        render_table(
+            ["verify", "bitflip rate", "e2e ms", "overhead", "verified",
+             "detected"],
+            rows,
+            title="Verify-mode x corruption-rate overhead sweep",
+        )
+    )
+    # "off" is free: within 2% of the no-integrity baseline even with
+    # corruption flowing (kind draws add no modeled time).
+    for rate in BITFLIP_RATES:
+        report, _ = cells[("off", rate)]
+        assert report.e2e_time <= base_report.e2e_time * 1.02, (
+            "off-mode overhead above 2%", rate, report.e2e_time,
+            base_report.e2e_time,
+        )
+    # "full" catches everything the injector emitted, exactly.  (At the
+    # lowest rate the expected emission count is ~1, so only the highest
+    # rate is required to actually produce corruption.)
+    for rate in BITFLIP_RATES[1:]:
+        _, loader = cells[("full", rate)]
+        assert (
+            loader.ledger.total_detected
+            == loader.faults.stats.corruptions_emitted
+        )
+        assert loader.ledger.is_consistent()
+    _, heaviest = cells[("full", BITFLIP_RATES[-1])]
+    assert heaviest.faults.stats.corruptions_emitted > 0
+    # Checking more pages can only cost more modeled time at equal rates.
+    for rate in BITFLIP_RATES:
+        off, _ = cells[("off", rate)]
+        full, _ = cells[("full", rate)]
+        assert full.e2e_time >= off.e2e_time
+
+
+def run_storm_detection():
+    """Full verify + scrub under a mid-epoch persistent storm."""
+    dataset, system, config = _workload()
+    plan = FaultPlan(
+        seed=7,
+        bitflip_rate=1e-4,
+        corruption_events=(
+            CorruptionEvent(device=0, at_time_s=1e-4, page_fraction=0.02),
+        ),
+    )
+    loader = _loader(
+        dataset, system, config, plan, "full", scrub_iops=1e5
+    )
+    return loader.run(ITERATIONS), loader
+
+
+def test_storm_detection_latency(benchmark):
+    report, loader = benchmark.pedantic(
+        run_storm_detection, rounds=1, iterations=1
+    )
+    ledger = loader.ledger
+    latencies = ledger.detection_latency_percentiles()
+    rows = [
+        ["detected", ledger.total_detected],
+        ["repaired", ledger.total_repaired],
+        ["unrepairable", ledger.total_unrepairable],
+        ["quarantined now", ledger.num_quarantined],
+        ["scrubbed pages", report.counters.scrubbed_pages],
+    ] + [
+        [f"detection latency {name}", f"{value * 1e3:.3f} ms"]
+        for name, value in latencies.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["metric", "value"], rows,
+            title="Storm detection under full verify + scrub",
+        )
+    )
+    assert ledger.total_detected > 0
+    assert ledger.is_consistent()
+    assert (
+        ledger.total_detected
+        == loader.faults.stats.corruptions_emitted
+    )
+    # Detection latencies are ordered percentiles of a non-negative
+    # sample set.
+    assert 0.0 <= latencies["p50"] <= latencies["p95"] <= latencies["p99"]

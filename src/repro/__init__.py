@@ -37,7 +37,9 @@ from .errors import (
     ConfigError,
     DatasetError,
     FaultError,
+    FaultPlanError,
     GraphError,
+    IntegrityError,
     PipelineError,
     ReproError,
     RestartLimitError,
@@ -47,14 +49,22 @@ from .errors import (
     StalledRunError,
     StorageError,
     TelemetryError,
+    UnrepairablePageError,
 )
 from .faults import (
+    CorruptionEvent,
     CrashEvent,
     DeviceEvent,
     FaultInjector,
     FaultPlan,
     FaultySSDArray,
     RetryPolicy,
+)
+from .integrity import (
+    CorruptionLedger,
+    PageChecksummer,
+    ReadVerifier,
+    Scrubber,
 )
 from .checkpoint import (
     CheckpointStore,
@@ -153,7 +163,9 @@ __all__ = [
     "ConfigError",
     "DatasetError",
     "FaultError",
+    "FaultPlanError",
     "GraphError",
+    "IntegrityError",
     "PipelineError",
     "ReproError",
     "RestartLimitError",
@@ -163,13 +175,20 @@ __all__ = [
     "StalledRunError",
     "StorageError",
     "TelemetryError",
+    "UnrepairablePageError",
     # fault injection & resilience
+    "CorruptionEvent",
     "CrashEvent",
     "DeviceEvent",
     "FaultInjector",
     "FaultPlan",
     "FaultySSDArray",
     "RetryPolicy",
+    # data integrity
+    "CorruptionLedger",
+    "PageChecksummer",
+    "ReadVerifier",
+    "Scrubber",
     # checkpoint / supervised runs
     "CheckpointStore",
     "CheckpointSummary",

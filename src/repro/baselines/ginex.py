@@ -25,6 +25,7 @@ from ..config import SystemConfig
 from ..errors import ConfigError
 from ..faults import FaultInjector, FaultPlan, RetryPolicy
 from ..graph.datasets import ScaledDataset
+from ..integrity import VERIFY_BANDWIDTH_BYTES_PER_S, VERIFY_MODES
 from ..pipeline.metrics import IterationMetrics, RunReport, StageTimes
 from ..sampling.minibatch import MiniBatch
 from ..sampling.neighbor import NeighborSampler
@@ -72,6 +73,8 @@ class GinexLoader:
         seed: int | np.random.Generator | None = 0,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        verify_reads: str = "off",
+        verify_sample_rate: float = 0.1,
     ) -> None:
         if dataset.hetero is not None:
             raise ConfigError(
@@ -118,6 +121,19 @@ class GinexLoader:
         self.fault_plan = fault_plan
         self.faults: FaultInjector | None = None
         self._sim_now_s = 0.0
+        # Ginex's miss serving is aggregate (counts, not page ids), so its
+        # integrity support is aggregate too: transient corruption (bit
+        # flips, torn reads) is drawn binomially over the delivered reads
+        # and — under "sample"/"full" verification — detected and repaired
+        # by modeled re-read.  Storm-poisoned media needs per-page identity
+        # and is modeled only by the GIDS-family loaders.
+        if verify_reads not in VERIFY_MODES:
+            raise ConfigError(
+                f"unknown verify mode {verify_reads!r}; "
+                f"expected one of {VERIFY_MODES}"
+            )
+        self.verify_reads = verify_reads
+        self.verify_sample_rate = float(verify_sample_rate)
         if fault_plan is not None and not fault_plan.is_null():
             self.faults = FaultInjector(fault_plan, retry_policy)
             if fault_plan.pcie_degradation_factor > 1.0:
@@ -243,6 +259,38 @@ class GinexLoader:
         # feature mirror instead.
         io_time += self.cpu.gather_time_resident(n_fallback)
 
+        # Aggregate integrity pass: transient corruption among the
+        # delivered reads, verified per the configured mode.  Every
+        # detection heals on one re-read (transient by construction here),
+        # so Ginex never quarantines.
+        plan = self.faults.plan
+        n_corrupt = detected = verified = 0
+        transient_rate = min(1.0, plan.bitflip_rate + plan.torn_page_rate)
+        if transient_rate > 0.0 and delivered > 0:
+            n_corrupt = int(
+                self.faults.rng.binomial(delivered, transient_rate)
+            )
+            self.faults.count_emitted(n_corrupt)
+        if self.verify_reads == "full":
+            verified = delivered
+            detected = n_corrupt
+        elif self.verify_reads == "sample" and delivered > 0:
+            verified = int(
+                self.faults.rng.binomial(delivered, self.verify_sample_rate)
+            )
+            if n_corrupt:
+                detected = int(
+                    self.faults.rng.binomial(
+                        n_corrupt, self.verify_sample_rate
+                    )
+                )
+        if verified:
+            io_time += verified * page_bytes / VERIFY_BANDWIDTH_BYTES_PER_S
+        if detected:
+            io_time += detected / self._io_rate
+        integrity_on = self.verify_reads != "off" or plan.has_corruption
+        unverified = delivered - verified if integrity_on else 0
+
         counters = TransferCounters(
             storage_requests=n_storage,
             storage_bytes=delivered * page_bytes,
@@ -252,6 +300,11 @@ class GinexLoader:
             fallback_requests=n_fallback,
             fallback_bytes=n_fallback * page_bytes,
             retry_timeouts=1 if outcome.timed_out else 0,
+            verified_pages=verified,
+            unverified_pages=unverified,
+            corrupt_detected=detected,
+            corrupt_repaired=detected,
+            integrity_rereads=detected,
         )
         return io_time, counters
 

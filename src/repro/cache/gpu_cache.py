@@ -248,6 +248,33 @@ class GPUSoftwareCache:
         if count == 0:
             self._mark_evictable(page)
 
+    def invalidate(self, pages: np.ndarray) -> int:
+        """Drop resident lines whose bytes are no longer trusted.
+
+        The integrity layer calls this when verification condemns a page
+        *after* :meth:`access` admitted it: a quarantined page must not be
+        served from the cache.  Outstanding future-reuse counts move back
+        to the pending table so the window buffer's bookkeeping stays
+        balanced — when the page is re-requested it simply misses again.
+        Returns the number of lines actually dropped.  Not a policy
+        eviction: the eviction counter and RNG are untouched.
+        """
+        dropped = 0
+        for page in pages:
+            page = int(page)
+            if page not in self._reuse:
+                continue
+            count = self._reuse.pop(page)
+            if count == 0:
+                self._unmark_evictable(page)
+            else:
+                self._pending[page] = self._pending.get(page, 0) + count
+            dropped += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.want_request_detail:
+                tracer.instant("cache.invalidate", "gpu.cache", page=page)
+        return dropped
+
     # ------------------------------------------------------------------
 
     def warm(self, pages: np.ndarray) -> None:

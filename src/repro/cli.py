@@ -13,6 +13,17 @@ Commands:
   the same supervised checkpoint/resume flags.
 * ``trace`` — render a saved Chrome-trace JSON as an ASCII timeline.
 * ``ssd-model`` — print the Eq. 2-3 bandwidth model for an SSD.
+* ``scrub`` — sweep a workload's feature pages against their digests,
+  repairing storm-poisoned pages from the ground-truth store.
+* ``faults validate`` — parse a FaultPlan JSON, cross-check its event
+  windows against a planned iteration count and summarize it per device
+  (exit 0 when valid, 2 when not).
+
+``run`` and ``train`` accept ``--verify-reads off|sample|full`` and
+``--scrub-iops N`` to enable the integrity layer (digest verification of
+storage-served pages, bounded re-read repair, quarantine and background
+scrubbing); a malformed ``--fault-plan`` file exits with status 2 and a
+one-line message.
 
 ``run`` and ``train`` accept ``--trace out.json`` (plus ``--trace-detail
 stage|request``) to record the run's modeled-time telemetry as a Chrome
@@ -98,6 +109,37 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_integrity_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--verify-reads",
+        choices=["off", "sample", "full"],
+        default="off",
+        help="verify storage-served pages against their digests: 'off' "
+        "(default; corrupt bytes flow through), 'sample' (a seeded "
+        "fraction of pages), or 'full' (every page)",
+    )
+    parser.add_argument(
+        "--scrub-iops",
+        type=float,
+        default=0.0,
+        metavar="N",
+        help="page reads per modeled second granted to the background "
+        "scrubber (default: 0, disabled)",
+    )
+
+
+def _load_fault_plan(path: str):
+    """Load ``--fault-plan`` or exit 2 with a one-line message."""
+    from .errors import FaultPlanError
+    from .faults import FaultPlan
+
+    try:
+        return FaultPlan.from_json_file(path)
+    except FaultPlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _make_tracer(args: argparse.Namespace):
     """Build the tracer behind ``--trace``, or ``None`` when not tracing."""
     if getattr(args, "trace", None) is None:
@@ -152,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_checkpoint_args(run)
     _add_trace_args(run)
+    _add_integrity_args(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -172,6 +215,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_checkpoint_args(train)
     _add_trace_args(train)
+    _add_integrity_args(train)
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="sweep a workload's feature pages against their digests",
+    )
+    scrub.add_argument("--dataset", default="IGB-tiny")
+    scrub.add_argument("--scale", type=float, default=0.1,
+                       help="dataset shrink factor (default: 0.1)")
+    scrub.add_argument("--num-ssds", type=int, default=1)
+    scrub.add_argument(
+        "--scrub-iops", type=float, default=1e6, metavar="N",
+        help="page reads per modeled second for the sweep (default: 1e6)",
+    )
+    scrub.add_argument(
+        "--fault-plan", metavar="JSON_PATH", default=None,
+        help="FaultPlan JSON whose corruption storms poison the media; "
+        "omitted means a clean sweep",
+    )
+    scrub.add_argument(
+        "--at-time", type=float, default=None, metavar="SECONDS",
+        help="simulated time of the sweep (default: just after the last "
+        "corruption storm in the plan)",
+    )
+
+    faults = sub.add_parser(
+        "faults", help="fault-plan tooling (validate)"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    validate = faults_sub.add_parser(
+        "validate",
+        help="parse a FaultPlan JSON and cross-check its event windows",
+    )
+    validate.add_argument("plan", help="path to the FaultPlan JSON file")
+    validate.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="planned run length; crash events beyond it are flagged",
+    )
 
     trace = sub.add_parser(
         "trace", help="render a saved Chrome trace as an ASCII timeline"
@@ -261,9 +342,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     fault_plan = None
     if args.fault_plan is not None:
-        from .faults import FaultPlan
-
-        fault_plan = FaultPlan.from_json_file(args.fault_plan)
+        fault_plan = _load_fault_plan(args.fault_plan)
 
     if args.trace is not None and args.loader not in ("gids", "bam"):
         print(
@@ -285,19 +364,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.loader == "all"
         else [args.loader]
     )
+    integrity = dict(
+        verify_reads=args.verify_reads, scrub_iops=args.scrub_iops
+    )
     reports = []
     for kind in selected:
         if kind == "gids":
             loader = GIDSDataLoader(
                 workload.dataset, system, config,
                 hot_nodes=workload.hot_nodes, fault_plan=fault_plan,
-                tracer=tracer, **common,
+                tracer=tracer, **integrity, **common,
             )
             reports.append(loader.run(args.iterations, warmup=10))
         elif kind == "bam":
             loader = BaMDataLoader(
                 workload.dataset, system, config, fault_plan=fault_plan,
-                tracer=tracer, **common,
+                tracer=tracer, **integrity, **common,
             )
             reports.append(loader.run(args.iterations, warmup=10))
         elif kind == "ginex":
@@ -308,7 +390,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 )
                 continue
             loader = GinexLoader(
-                workload.dataset, system, fault_plan=fault_plan, **common
+                workload.dataset, system, fault_plan=fault_plan,
+                verify_reads=args.verify_reads, **common,
             )
             reports.append(loader.run(args.iterations, warmup=150))
         else:
@@ -394,7 +477,9 @@ def _cmd_run_supervised(
             kwargs["hot_nodes"] = workload.hot_nodes
         loader = loader_cls(
             workload.dataset, system, config,
-            fault_plan=fault_plan, tracer=tracer, **kwargs,
+            fault_plan=fault_plan, tracer=tracer,
+            verify_reads=args.verify_reads, scrub_iops=args.scrub_iops,
+            **kwargs,
         )
         model = GraphSAGE(
             workload.dataset.feature_dim, 32, 8, num_layers=len(
@@ -465,15 +550,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     fault_plan = None
     if args.fault_plan is not None:
-        from .faults import FaultPlan
-
-        fault_plan = FaultPlan.from_json_file(args.fault_plan)
+        fault_plan = _load_fault_plan(args.fault_plan)
     tracer = _make_tracer(args)
 
     def pipeline_factory() -> TrainingPipeline:
         loader = GIDSDataLoader(
             dataset, system, config, batch_size=args.batch_size,
             fanouts=(5, 5), seed=1, fault_plan=fault_plan, tracer=tracer,
+            verify_reads=args.verify_reads, scrub_iops=args.scrub_iops,
         )
         model = GraphSAGE(
             dataset.feature_dim, args.hidden_dim, args.classes,
@@ -486,21 +570,146 @@ def _cmd_train(args: argparse.Namespace) -> int:
         outcome = supervisor.run(args.iterations)
         result = outcome.result
         summary = outcome.summary
+        report = outcome.report
     else:
-        result = pipeline_factory().train(args.iterations)
+        pipeline = pipeline_factory()
+        result = pipeline.train(args.iterations)
         summary = None
+        report = pipeline.report
     if tracer is not None:
         _write_trace(tracer, args.trace)
     first = sum(result.losses[:5]) / 5
     last = sum(result.losses[-5:]) / 5
     print(f"trained {result.num_steps} steps: loss {first:.4f} -> {last:.4f}")
     print(f"final training accuracy: {result.final_train_accuracy:.1%}")
+    integ = report.integrity_summary()
+    if any(v for k, v in integ.items() if k != "consistent"):
+        print(
+            f"integrity: {integ['verified_pages']} verified, "
+            f"{integ['corrupt_detected']} detected, "
+            f"{integ['corrupt_repaired']} repaired, "
+            f"{integ['corrupt_quarantined']} quarantined, "
+            f"{integ['unverified_pages']} unverified "
+            f"(consistent={integ['consistent']})"
+        )
     if summary is not None:
         print(
             f"checkpointing: {summary.snapshots_written} snapshot(s), "
             f"{summary.restores} restore(s), {summary.crashes} crash(es) "
             f"survived, {summary.corrupted_skipped} corrupted skipped"
         )
+    return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    """``scrub``: one offline integrity sweep over a workload's pages."""
+    from .faults.injector import FaultInjector
+    from .graph.datasets import load_scaled
+    from .integrity import CorruptionLedger, PageChecksummer, Scrubber
+    from .storage.feature_store import FeatureStore
+
+    if args.scrub_iops <= 0:
+        print("error: --scrub-iops must be positive", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = _load_fault_plan(args.fault_plan)
+
+    dataset = load_scaled(args.dataset, args.scale, seed=0)
+    store = FeatureStore(dataset.num_nodes, dataset.feature_dim)
+    total_pages = store.layout.total_pages
+    injector = None
+    if fault_plan is not None and not fault_plan.is_null():
+        injector = FaultInjector(fault_plan)
+
+    at_time = args.at_time
+    if at_time is None:
+        # Default: sweep just after every storm in the plan has landed, so
+        # the scan observes the poisoned steady state.
+        storms = () if fault_plan is None else fault_plan.corruption_events
+        at_time = max((e.at_time_s for e in storms), default=0.0) + 1e-9
+
+    ledger = CorruptionLedger(num_devices=args.num_ssds)
+    scrubber = Scrubber(
+        total_pages=total_pages,
+        iops_budget=args.scrub_iops,
+        ledger=ledger,
+        injector=injector,
+        num_devices=args.num_ssds,
+        checksummer=PageChecksummer(store),
+    )
+    # Grant exactly one full pass worth of budget (+1 page of slack so
+    # float truncation cannot round the last page away).
+    outcome = scrubber.sweep((total_pages + 1) / args.scrub_iops, at_time)
+
+    rows = [
+        [r["device"], r["detected"], r["repaired"], r["unrepairable"]]
+        for r in ledger.per_device_summary()
+    ]
+    print(
+        render_table(
+            ["device", "detected", "repaired", "unrepairable"],
+            rows,
+            title=f"scrub of {args.dataset} ({total_pages} pages, "
+            f"t={at_time:.3f}s)",
+        )
+    )
+    sweep_s = total_pages / args.scrub_iops
+    print(
+        f"scanned {outcome.pages_scanned} pages in {sweep_s:.3f} modeled "
+        f"seconds ({args.scrub_iops:.0f} IOPS): {outcome.detected} "
+        f"corrupt, {outcome.repaired} repaired, {outcome.released} "
+        f"released from quarantine"
+    )
+    return 0
+
+
+def _cmd_faults_validate(args: argparse.Namespace) -> int:
+    """``faults validate``: parse a plan and cross-check its events."""
+    plan = _load_fault_plan(args.plan)  # exits 2 on a malformed plan
+
+    problems: list[str] = []
+    if args.iterations is not None:
+        for event in plan.crash_events:
+            if event.at_iteration > args.iterations:
+                problems.append(
+                    f"crash event at iteration {event.at_iteration} never "
+                    f"fires in a {args.iterations}-iteration run"
+                )
+
+    rates = [
+        ["read_failure_rate", f"{plan.read_failure_rate:g}"],
+        ["tail_latency_rate", f"{plan.tail_latency_rate:g}"],
+        ["bitflip_rate", f"{plan.bitflip_rate:g}"],
+        ["torn_page_rate", f"{plan.torn_page_rate:g}"],
+        ["pcie_degradation_factor", f"{plan.pcie_degradation_factor:g}"],
+        ["crash_events", len(plan.crash_events)],
+    ]
+    print(render_table(["knob", "value"], rates, title=f"plan {args.plan}"))
+
+    devices: dict[int, list[str]] = {}
+    for event in plan.device_events:
+        devices.setdefault(event.device, []).append(
+            f"{event.kind}@{event.at_time_s:g}s"
+        )
+    for event in plan.corruption_events:
+        devices.setdefault(event.device, []).append(
+            f"storm@{event.at_time_s:g}s"
+            f" ({event.page_fraction:.2%} of pages)"
+        )
+    if devices:
+        rows = [
+            [device, "; ".join(notes)]
+            for device, notes in sorted(devices.items())
+        ]
+        print(render_table(["device", "events"], rows,
+                           title="per-device events"))
+
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        return 2
+    print("plan is valid")
     return 0
 
 
@@ -566,6 +775,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "scrub":
+        return _cmd_scrub(args)
+    if args.command == "faults":
+        if args.faults_command == "validate":
+            return _cmd_faults_validate(args)
+        raise AssertionError(
+            f"unhandled faults command {args.faults_command!r}"
+        )
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "ssd-model":

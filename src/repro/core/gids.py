@@ -38,6 +38,13 @@ from ..faults import (
 )
 from ..graph.datasets import ScaledDataset
 from ..graph.pagerank import hot_node_ranking
+from ..integrity import (
+    VERIFY_BANDWIDTH_BYTES_PER_S,
+    CorruptionLedger,
+    PageChecksummer,
+    ReadVerifier,
+    Scrubber,
+)
 from ..pipeline.metrics import IterationMetrics, RunReport, StageTimes
 from ..sampling.ladies import LadiesSampler
 from ..sampling.minibatch import MiniBatch
@@ -103,6 +110,21 @@ class GIDSDataLoader:
             ``None`` or a null plan leaves every modeled time bit-identical
             to a loader without fault support.
         retry_policy: overrides the plan's embedded retry policy.
+        verify_reads: integrity policy for storage-served pages —
+            ``"off"`` (default; no digests are checked), ``"sample"``
+            (each page verified with probability ``verify_sample_rate``)
+            or ``"full"`` (every page verified).  Detected corruption is
+            repaired by bounded re-read in modeled time; pages whose
+            device copy is poisoned fall back to the CPU mirror and are
+            quarantined.  ``"off"`` with no corruption in the plan keeps
+            every modeled time bit-identical to a loader without
+            integrity support.
+        verify_sample_rate: per-page verify probability in ``"sample"``
+            mode.
+        scrub_iops: page reads per modeled second granted to the
+            background scrubber (0 disables scrubbing).  The scrubber
+            sweeps the page space between training groups, detecting and
+            rewriting storm-poisoned pages the workload has not touched.
         tracer: optional :class:`~repro.telemetry.Tracer`.  When attached,
             the loader records stage spans on the modeled clock (and, at
             ``"request"`` detail, per-resource spans for the SSD batch,
@@ -131,6 +153,9 @@ class GIDSDataLoader:
         seed: int | np.random.Generator | None = 0,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        verify_reads: str = "off",
+        verify_sample_rate: float = 0.1,
+        scrub_iops: float = 0.0,
         tracer: Tracer | None = None,
     ) -> None:
         if framework_overhead_s < 0:
@@ -165,6 +190,43 @@ class GIDSDataLoader:
                 self.pcie = PCIeLink(
                     system.pcie,
                     degradation_factor=fault_plan.pcie_degradation_factor,
+                )
+
+        # Integrity machinery follows the same pay-for-what-you-use rule:
+        # it exists only when something can corrupt reads or the caller
+        # asked for verification/scrubbing, and verify ``"off"``/``"full"``
+        # consume no random numbers (only ``"sample"`` draws, from its own
+        # stream).  With none of that, the code paths below never fire.
+        self.verify_reads = verify_reads
+        self.scrub_iops = float(scrub_iops)
+        self.ledger: CorruptionLedger | None = None
+        self.checksummer: PageChecksummer | None = None
+        self.verifier: ReadVerifier | None = None
+        self.scrubber: Scrubber | None = None
+        # One entry per produced iteration: page ids whose corruption went
+        # undetected, consumed in order by :meth:`fetch_features`.
+        self._pending_corrupt: list[np.ndarray] = []
+        corruptible = (
+            fault_plan is not None and fault_plan.has_corruption
+        )
+        if verify_reads != "off" or scrub_iops > 0 or corruptible:
+            self.ledger = CorruptionLedger(num_devices=system.num_ssds)
+            self.checksummer = PageChecksummer(self.store)
+            self.verifier = ReadVerifier(
+                self.ledger,
+                mode=verify_reads,
+                sample_rate=verify_sample_rate,
+                seed=fault_plan.seed if fault_plan is not None else 0,
+                checksummer=self.checksummer,
+            )
+            if scrub_iops > 0:
+                self.scrubber = Scrubber(
+                    total_pages=self.layout.total_pages,
+                    iops_budget=scrub_iops,
+                    ledger=self.ledger,
+                    injector=self.faults,
+                    num_devices=system.num_ssds,
+                    checksummer=self.checksummer,
                 )
 
         self.sampler = self._build_sampler(
@@ -345,30 +407,44 @@ class GIDSDataLoader:
             array = self.fault_array
 
         per_entry: list[TransferCounters] = []
-        for entry in group:
-            n_buffer_nodes, _ = entry.payload
-            hit_mask = self.cache.access(entry.pages)
-            n_hits = int(hit_mask.sum())
-            n_miss = len(entry.pages) - n_hits
-            n_lost = 0
-            if faults is not None and n_miss:
-                # Pages homed on a dropped-out device are known-lost: they
-                # skip storage and fall back to the feature-store path.
-                miss_pages = entry.pages[~hit_mask]
-                n_lost = int(self.fault_array.lost_page_mask(miss_pages).sum())
-            n_storage = n_miss - n_lost
-            per_entry.append(
-                TransferCounters(
-                    storage_requests=n_storage,
-                    storage_bytes=n_storage * page_bytes,
-                    cpu_buffer_requests=n_buffer_nodes,
-                    cpu_buffer_bytes=n_buffer_nodes * feature_bytes,
-                    gpu_cache_hits=n_hits,
-                    gpu_cache_bytes=n_hits * page_bytes,
-                    fallback_requests=n_lost,
-                    fallback_bytes=n_lost * page_bytes,
+        integrity_rereads = 0
+        verified_bytes = 0
+        if self.verifier is None:
+            for entry in group:
+                n_buffer_nodes, _ = entry.payload
+                hit_mask = self.cache.access(entry.pages)
+                n_hits = int(hit_mask.sum())
+                n_miss = len(entry.pages) - n_hits
+                n_lost = 0
+                if faults is not None and n_miss:
+                    # Pages homed on a dropped-out device are known-lost:
+                    # they skip storage and fall back to the feature-store
+                    # path.
+                    miss_pages = entry.pages[~hit_mask]
+                    n_lost = int(
+                        self.fault_array.lost_page_mask(miss_pages).sum()
+                    )
+                n_storage = n_miss - n_lost
+                per_entry.append(
+                    TransferCounters(
+                        storage_requests=n_storage,
+                        storage_bytes=n_storage * page_bytes,
+                        cpu_buffer_requests=n_buffer_nodes,
+                        cpu_buffer_bytes=n_buffer_nodes * feature_bytes,
+                        gpu_cache_hits=n_hits,
+                        gpu_cache_bytes=n_hits * page_bytes,
+                        fallback_requests=n_lost,
+                        fallback_bytes=n_lost * page_bytes,
+                    )
                 )
-            )
+        else:
+            for entry in group:
+                counters = self._serve_entry_verified(
+                    entry, group_start_s, array
+                )
+                integrity_rereads += counters.integrity_rereads
+                verified_bytes += counters.verified_pages * page_bytes
+                per_entry.append(counters)
 
         total_storage_pages = sum(c.storage_requests for c in per_entry)
         total_cpu_bytes = sum(c.cpu_buffer_bytes for c in per_entry)
@@ -380,6 +456,11 @@ class GIDSDataLoader:
             fault_extra_time, service_requests = self._resolve_group_faults(
                 per_entry, total_storage_pages, array
             )
+        # Repair re-reads occupy device service exactly like retried
+        # commands; digest checks cost modeled hash time on every verified
+        # byte.  Both are zero whenever the integrity layer is off.
+        service_requests += integrity_rereads
+        integrity_extra_time = verified_bytes / VERIFY_BANDWIDTH_BYTES_PER_S
         total_storage_bytes = sum(c.storage_bytes for c in per_entry)
         total_fallback_bytes = sum(c.fallback_bytes for c in per_entry)
 
@@ -387,6 +468,7 @@ class GIDSDataLoader:
             self.framework_overhead_s
             + array.batch_service_time(service_requests)
             + fault_extra_time
+            + integrity_extra_time
         )
         ingress_time = self.pcie.ingress_time(
             total_storage_bytes,
@@ -408,6 +490,20 @@ class GIDSDataLoader:
                 cpu_bytes=total_cpu_bytes + total_fallback_bytes,
                 hbm_bytes=total_hbm_bytes,
             )
+            if integrity_extra_time > 0.0:
+                tracer.record(
+                    "verify",
+                    "integrity",
+                    start_s=group_start_s,
+                    duration_s=integrity_extra_time,
+                    verified=sum(c.verified_pages for c in per_entry),
+                    detected=sum(c.corrupt_detected for c in per_entry),
+                    repaired=sum(c.corrupt_repaired for c in per_entry),
+                    quarantined=sum(
+                        c.corrupt_quarantined for c in per_entry
+                    ),
+                    rereads=integrity_rereads,
+                )
 
         if self.accumulator is not None:
             total_requests = sum(c.total_requests for c in per_entry)
@@ -443,6 +539,30 @@ class GIDSDataLoader:
                     counters=counters,
                 )
             )
+        if self.scrubber is not None:
+            # The sweep overlaps the group it follows (it soaks up idle
+            # device IOPS), so it advances no modeled time; its budget is
+            # the group's elapsed time and its reads are accounted on the
+            # group's last iteration.
+            group_elapsed = sum(m.times.total for m in metrics)
+            scrub = self.scrubber.sweep(
+                group_elapsed, group_start_s + group_elapsed
+            )
+            if scrub.pages_scanned:
+                last = metrics[-1].counters
+                last.scrubbed_pages += scrub.pages_scanned
+                last.corrupt_detected += scrub.detected
+                last.corrupt_repaired += scrub.repaired
+                if tracer is not None and tracer.want_request_detail:
+                    tracer.instant(
+                        "scrub",
+                        "integrity",
+                        pages=scrub.pages_scanned,
+                        detected=scrub.detected,
+                        repaired=scrub.repaired,
+                        released=scrub.released,
+                    )
+
         if tracer is not None and tracer.enabled:
             self._trace_group_stages(tracer, group_start_s, metrics)
             tracer.metrics.histogram("ssd.batch_service_s").observe(
@@ -456,6 +576,83 @@ class GIDSDataLoader:
         if tracer is not None:
             tracer.clock_s = self._sim_now_s
         return metrics
+
+    def _serve_entry_verified(
+        self, entry, now_s: float, array
+    ) -> TransferCounters:
+        """Serve one iteration's pages with the integrity layer engaged.
+
+        The healthy-path arithmetic (hits, misses, lost pages, byte
+        counts) is identical to the fast path in :meth:`_aggregate_group`;
+        on top of it, quarantined pages skip cache and storage entirely
+        (served from the fallback tier), every storage-served page runs
+        through the fault injector's corruption draw and the configured
+        verify mode, and pages condemned this round are invalidated from
+        the GPU cache so unverified bytes are never admitted.
+        """
+        page_bytes = self.layout.page_bytes
+        feature_bytes = self.store.feature_bytes
+        n_buffer_nodes, _ = entry.payload
+        pages = entry.pages
+        n_quarantine = 0
+        if self.ledger.num_quarantined:
+            qmask = self.ledger.quarantined_mask(pages)
+            if qmask.any():
+                n_quarantine = int(qmask.sum())
+                # Quarantined pages never touch cache or storage: release
+                # the window's registered reuse units and serve them from
+                # the fallback tier.
+                self.cache.forget_future(pages[qmask])
+                pages = pages[~qmask]
+        hit_mask = self.cache.access(pages)
+        n_hits = int(hit_mask.sum())
+        miss_pages = pages[~hit_mask]
+        n_lost = 0
+        if self.faults is not None and len(miss_pages):
+            lost = self.fault_array.lost_page_mask(miss_pages)
+            if lost.any():
+                n_lost = int(lost.sum())
+                miss_pages = miss_pages[~lost]
+        n_storage = len(miss_pages)
+
+        origins = None
+        if (
+            self.faults is not None
+            and self.faults.plan.has_corruption
+            and n_storage
+        ):
+            kinds, origins = self.faults.corruption_kinds(
+                miss_pages, now_s, self.system.num_ssds
+            )
+        else:
+            kinds = np.zeros(n_storage, dtype=np.uint8)
+        outcome = self.verifier.process(
+            miss_pages, kinds, now_s=now_s, origin_times=origins
+        )
+        q_now = outcome.quarantined
+        if q_now:
+            # Condemned pages must not stay resident; their good bytes
+            # come over the CPU path, not from storage.
+            self.cache.invalidate(outcome.quarantined_pages)
+        self._pending_corrupt.append(outcome.undetected_pages)
+
+        n_fallback = n_lost + n_quarantine + q_now
+        return TransferCounters(
+            storage_requests=n_storage,
+            storage_bytes=(n_storage - q_now) * page_bytes,
+            cpu_buffer_requests=n_buffer_nodes,
+            cpu_buffer_bytes=n_buffer_nodes * feature_bytes,
+            gpu_cache_hits=n_hits,
+            gpu_cache_bytes=n_hits * page_bytes,
+            fallback_requests=n_fallback,
+            fallback_bytes=n_fallback * page_bytes,
+            verified_pages=outcome.verified,
+            unverified_pages=outcome.unverified,
+            corrupt_detected=outcome.detected,
+            corrupt_repaired=outcome.repaired,
+            corrupt_quarantined=q_now,
+            integrity_rereads=outcome.rereads,
+        )
 
     def _trace_group_resources(
         self,
@@ -597,7 +794,9 @@ class GIDSDataLoader:
                 # Reads that exhausted the retry policy (or its time
                 # budget) are served by the feature-store fallback; their
                 # bytes never arrive from storage.
-                counters.storage_bytes -= unrecovered * page_bytes
+                counters.storage_bytes = max(
+                    0, counters.storage_bytes - unrecovered * page_bytes
+                )
                 counters.fallback_requests += unrecovered
                 counters.fallback_bytes += unrecovered * page_bytes
         if outcome.timed_out and per_entry:
@@ -643,6 +842,9 @@ class GIDSDataLoader:
         fault_baseline = (
             self.faults.stats.state_dict() if self.faults is not None else None
         )
+        ledger_baseline = (
+            None if self.ledger is None else self._ledger_totals()
+        )
         report = RunReport(
             loader_name=self.name,
             overlapped=self.config.accumulator_enabled,
@@ -659,7 +861,30 @@ class GIDSDataLoader:
             FaultStats(
                 **{k: after[k] - fault_baseline[k] for k in after}
             ).publish(self.tracer.metrics)
+        if (
+            self.tracer is not None
+            and self.tracer.enabled
+            and ledger_baseline is not None
+        ):
+            after_totals = self._ledger_totals()
+            for name, value in after_totals.items():
+                delta = value - ledger_baseline[name]
+                if delta:
+                    self.tracer.metrics.counter(
+                        f"integrity.{name}"
+                    ).inc(delta)
+        # Timing-only runs never fetch features, so drain the queue of
+        # undetected-corruption markers instead of letting it grow.
+        self._pending_corrupt.clear()
         return report
+
+    def _ledger_totals(self) -> dict[str, int]:
+        return {
+            "detected": self.ledger.total_detected,
+            "repaired": self.ledger.total_repaired,
+            "unrepairable": self.ledger.total_unrepairable,
+            "quarantined": self.ledger.num_quarantined,
+        }
 
     def _execute(self, n_iterations: int, report: RunReport | None) -> None:
         done = 0
@@ -689,13 +914,46 @@ class GIDSDataLoader:
         metrics = self._aggregate_group(group)
         return [(entry.batch, m) for entry, m in zip(group, metrics)]
 
+    def fetch_features(self, batch: MiniBatch) -> np.ndarray:
+        """Materialize the feature matrix the modeled fetch delivered.
+
+        Healthy runs return the ground-truth rows from the feature store.
+        When corruption is being injected, rows whose page was served
+        corrupt from storage *and slipped past verification* are returned
+        perturbed (sign and a high mantissa bit of every float flipped) —
+        exactly the silent damage ``verify_reads="off"`` leaves in, and
+        what ``"full"`` provably removes.  Batches must be fetched in the
+        order :meth:`next_training_group` produced them.
+        """
+        feats = self.store.fetch(batch.input_nodes)
+        if self.verifier is None:
+            return feats
+        if not self._pending_corrupt:
+            return feats
+        bad_pages = self._pending_corrupt.pop(0)
+        if len(bad_pages) == 0:
+            return feats
+        node_pages = self.layout.pages_for_nodes(batch.input_nodes)
+        bad = np.isin(node_pages, bad_pages)
+        if self.cpu_buffer is not None:
+            # Hot nodes were served from the pinned CPU mirror, which the
+            # storm cannot touch, even when they share a page id.
+            bad &= ~self.cpu_buffer.contains(batch.input_nodes)
+        if bad.any():
+            raw = feats[bad]
+            bits = raw.view(np.uint32) ^ np.uint32(0x8040_0000)
+            feats[bad] = bits.view(raw.dtype)
+        return feats
+
     def iter_batches(
         self, num_iterations: int
     ) -> Iterator[tuple[MiniBatch, np.ndarray]]:
         """Yield ``(mini-batch, input feature matrix)`` pairs for training.
 
         The functional companion of :meth:`run`: features come from the
-        feature store (synthetic or materialized) in ``input_nodes`` order.
+        feature store (synthetic or materialized) in ``input_nodes`` order,
+        filtered through :meth:`fetch_features` so undetected corruption
+        shows up in the delivered matrices.
         """
         if num_iterations <= 0:
             raise ConfigError("num_iterations must be positive")
@@ -703,7 +961,7 @@ class GIDSDataLoader:
         while produced < num_iterations:
             pairs = self.next_training_group(num_iterations - produced)
             for batch, _ in pairs:
-                yield batch, self.store.fetch(batch.input_nodes)
+                yield batch, self.fetch_features(batch)
                 produced += 1
 
     @property
@@ -746,6 +1004,7 @@ class GIDSDataLoader:
             ),
             "sim_now_s": self._sim_now_s,
             "faults": None,
+            "integrity": None,
             "tracer": (
                 None if self.tracer is None else self.tracer.state_dict()
             ),
@@ -754,6 +1013,20 @@ class GIDSDataLoader:
             state["faults"] = {
                 "injector": self.faults.state_dict(),
                 "array": self.fault_array.state_dict(),
+            }
+        if self.verifier is not None:
+            state["integrity"] = {
+                "ledger": self.ledger.state_dict(),
+                "verifier": self.verifier.state_dict(),
+                "scrubber": (
+                    None
+                    if self.scrubber is None
+                    else self.scrubber.state_dict()
+                ),
+                "pending_corrupt": [
+                    [int(p) for p in pages]
+                    for pages in self._pending_corrupt
+                ],
             }
         return state
 
@@ -779,6 +1052,7 @@ class GIDSDataLoader:
             ("accumulator", "accumulator"),
             ("cpu_buffer", "cpu_buffer"),
             ("faults", "faults"),
+            ("verifier", "integrity"),
         ):
             if (getattr(self, attr) is None) != (state.get(key) is None):
                 raise CheckpointError(
@@ -797,6 +1071,21 @@ class GIDSDataLoader:
         if self.faults is not None:
             self.faults.load_state_dict(state["faults"]["injector"])
             self.fault_array.load_state_dict(state["faults"]["array"])
+        if self.verifier is not None:
+            integrity = state["integrity"]
+            self.ledger.load_state_dict(integrity["ledger"])
+            self.verifier.load_state_dict(integrity["verifier"])
+            if (self.scrubber is None) != (integrity["scrubber"] is None):
+                raise CheckpointError(
+                    "checkpoint scrubber state does not match the loader "
+                    "configuration (one side has scrubbing disabled)"
+                )
+            if self.scrubber is not None:
+                self.scrubber.load_state_dict(integrity["scrubber"])
+            self._pending_corrupt = [
+                np.asarray(pages, dtype=np.int64)
+                for pages in integrity["pending_corrupt"]
+            ]
         # Tracer state is deliberately lenient: a checkpoint written
         # without tracing loads into a traced loader (the trace simply
         # starts at the resume point) and vice versa.  When both sides
@@ -809,6 +1098,7 @@ class GIDSDataLoader:
 
     def reset_caches(self) -> None:
         """Drop all cache and window state (fresh-run isolation)."""
+        self._pending_corrupt.clear()
         self.window.drain()
         self.cache = GPUSoftwareCache(
             self.cache.capacity_lines,

@@ -44,8 +44,25 @@ class FaultError(ReproError):
     """An injected hardware fault could not be absorbed by the storage stack."""
 
 
+class FaultPlanError(FaultError, ConfigError):
+    """A fault plan file could not be read or parsed.
+
+    Derives from both :class:`FaultError` (it concerns the fault subsystem)
+    and :class:`ConfigError` (a plan is configuration), so callers that
+    historically caught either keep working.
+    """
+
+
 class RetryExhaustedError(FaultError):
     """Storage reads kept failing after the retry policy's final attempt."""
+
+
+class IntegrityError(ReproError):
+    """A data-integrity invariant was violated (digest mismatch, bad state)."""
+
+
+class UnrepairablePageError(IntegrityError):
+    """A corrupt page exhausted its repair budget with no fallback allowed."""
 
 
 class TelemetryError(ReproError):

@@ -15,14 +15,29 @@ are drawn and modeled times are bit-identical to a run without the fault
 machinery.
 """
 
-from .plan import DEVICE_EVENT_KINDS, CrashEvent, DeviceEvent, FaultPlan
+from .plan import (
+    CORRUPT_BITFLIP,
+    CORRUPT_NONE,
+    CORRUPT_PERSISTENT,
+    CORRUPT_TORN,
+    DEVICE_EVENT_KINDS,
+    CorruptionEvent,
+    CrashEvent,
+    DeviceEvent,
+    FaultPlan,
+)
 from .retry import RetryPolicy
 from .injector import BatchFaultOutcome, FaultInjector, FaultStats
 from .array import FaultySSDArray
 
 __all__ = [
+    "CORRUPT_BITFLIP",
+    "CORRUPT_NONE",
+    "CORRUPT_PERSISTENT",
+    "CORRUPT_TORN",
     "DEVICE_EVENT_KINDS",
     "BatchFaultOutcome",
+    "CorruptionEvent",
     "CrashEvent",
     "DeviceEvent",
     "FaultInjector",

@@ -15,8 +15,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import CheckpointError, ConfigError, RetryExhaustedError
-from .plan import FaultPlan
+from ..utils import splitmix64_uniform
+from .plan import (
+    CORRUPT_BITFLIP,
+    CORRUPT_PERSISTENT,
+    CORRUPT_TORN,
+    FaultPlan,
+)
 from .retry import RetryPolicy
+
+#: Salt stride separating the hash streams of successive corruption storms.
+_STORM_SALT_STRIDE = 0x51_7C_C1_B7_27_22_0A_95
 
 
 @dataclass
@@ -28,6 +37,7 @@ class FaultStats:
     unrecovered: int = 0
     latency_spikes: int = 0
     timeouts: int = 0
+    corruptions_emitted: int = 0
 
     def merge(self, other: "FaultStats") -> None:
         self.injected_failures += other.injected_failures
@@ -35,6 +45,7 @@ class FaultStats:
         self.unrecovered += other.unrecovered
         self.latency_spikes += other.latency_spikes
         self.timeouts += other.timeouts
+        self.corruptions_emitted += other.corruptions_emitted
 
     def publish(self, registry, prefix: str = "faults") -> None:
         """Add the current counts into a telemetry metrics registry.
@@ -55,13 +66,14 @@ class FaultStats:
             "unrecovered": self.unrecovered,
             "latency_spikes": self.latency_spikes,
             "timeouts": self.timeouts,
+            "corruptions_emitted": self.corruptions_emitted,
         }
 
     @classmethod
     def from_state_dict(cls, state: dict) -> "FaultStats":
         known = {
             "injected_failures", "retries", "unrecovered",
-            "latency_spikes", "timeouts",
+            "latency_spikes", "timeouts", "corruptions_emitted",
         }
         unknown = set(state) - known
         if unknown:
@@ -108,6 +120,13 @@ class FaultInjector:
         self._events = sorted(
             plan.device_events, key=lambda e: (e.at_time_s, e.device)
         )
+        # Storms keep their plan order: storm index salts the page-hash, so
+        # reordering would repoison different pages.
+        self._storms = tuple(plan.corruption_events)
+        # Pages rewritten from a good copy after storm poisoning (repair
+        # overlay on the stateless hash membership).  Bounded by the pages
+        # actually touched, never by the device size.
+        self._repaired_pages: set[int] = set()
 
     @property
     def rng(self) -> np.random.Generator:
@@ -127,6 +146,7 @@ class FaultInjector:
             "seed": self.plan.seed,
             "rng": self._rng.bit_generator.state,
             "stats": self.stats.state_dict(),
+            "repaired_pages": sorted(self._repaired_pages),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -138,6 +158,9 @@ class FaultInjector:
             )
         self._rng.bit_generator.state = state["rng"]
         self.stats = FaultStats.from_state_dict(state["stats"])
+        self._repaired_pages = {
+            int(p) for p in state.get("repaired_pages", ())
+        }
 
     def retry_failed(self) -> bool:
         """Draw whether one retried command fails again."""
@@ -224,6 +247,100 @@ class FaultInjector:
         if active.all():
             return np.zeros(len(pages), dtype=bool)
         return ~active[pages % num_devices]
+
+    # ------------------------------------------------------------------
+    # Silent corruption
+
+    def poisoned_info(
+        self, pages: np.ndarray, now_s: float, num_devices: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(poisoned_mask, origin_times)`` for storm-poisoned pages.
+
+        Membership is a pure hash of ``(plan seed, storm index, page)`` —
+        no random stream is consumed, so corruption storms cannot perturb
+        the failure/spike draws, and a killed-and-resumed run agrees on
+        exactly which pages are poisoned.  ``origin_times`` holds the
+        poisoning storm's ``at_time_s`` for poisoned pages (earliest storm
+        wins) and ``now_s`` elsewhere.  Pages rewritten via
+        :meth:`mark_repaired` are healed.
+        """
+        if num_devices <= 0:
+            raise ConfigError("num_devices must be positive")
+        pages = np.asarray(pages, dtype=np.int64)
+        mask = np.zeros(len(pages), dtype=bool)
+        origins = np.full(len(pages), float(now_s))
+        if not self._storms or len(pages) == 0:
+            return mask, origins
+        for index, storm in enumerate(self._storms):
+            if storm.at_time_s > now_s or storm.device >= num_devices:
+                continue
+            on_device = (pages % num_devices) == storm.device
+            if not on_device.any():
+                continue
+            salt = self.plan.seed + (index + 1) * _STORM_SALT_STRIDE
+            hit = on_device & (
+                splitmix64_uniform(pages, salt) < storm.page_fraction
+            )
+            fresh = hit & ~mask
+            origins[fresh] = storm.at_time_s
+            mask |= hit
+        if self._repaired_pages and mask.any():
+            repaired = np.fromiter(
+                (int(p) in self._repaired_pages for p in pages),
+                dtype=bool,
+                count=len(pages),
+            )
+            mask &= ~repaired
+        return mask, origins
+
+    def corruption_kinds(
+        self, pages: np.ndarray, now_s: float, num_devices: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-read corruption outcome for ``pages`` served from storage.
+
+        Returns ``(kinds, origin_times)`` where ``kinds`` holds the
+        ``CORRUPT_*`` codes (0 for clean reads).  Transient draws (bit
+        flips, torn reads) come from the injector's private stream and are
+        only made when the corresponding rate is non-zero, so plans without
+        corruption consume exactly the random numbers they did before this
+        feature existed.  Persistent (storm) poisoning overrides transient
+        kinds — the media copy being bad dominates the in-flight error.
+        Every non-clean read increments ``stats.corruptions_emitted``.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        n = len(pages)
+        kinds = np.zeros(n, dtype=np.uint8)
+        origins = np.full(n, float(now_s))
+        if n == 0:
+            return kinds, origins
+        if self.plan.bitflip_rate > 0.0:
+            kinds[self._rng.random(n) < self.plan.bitflip_rate] = (
+                CORRUPT_BITFLIP
+            )
+        if self.plan.torn_page_rate > 0.0:
+            kinds[self._rng.random(n) < self.plan.torn_page_rate] = (
+                CORRUPT_TORN
+            )
+        if self._storms:
+            poisoned, storm_origins = self.poisoned_info(
+                pages, now_s, num_devices
+            )
+            kinds[poisoned] = CORRUPT_PERSISTENT
+            origins[poisoned] = storm_origins[poisoned]
+        self.stats.corruptions_emitted += int((kinds != 0).sum())
+        return kinds, origins
+
+    def count_emitted(self, n: int) -> None:
+        """Account ``n`` corrupt reads observed outside the loader path
+        (the background scrubber's sweep reads)."""
+        if n < 0:
+            raise ConfigError("count must be non-negative")
+        self.stats.corruptions_emitted += n
+
+    def mark_repaired(self, page: int) -> None:
+        """Record that ``page`` was rewritten from a good copy: storm
+        poisoning no longer applies to it."""
+        self._repaired_pages.add(int(page))
 
     # ------------------------------------------------------------------
     # Aggregate retry process

@@ -21,11 +21,22 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
-from ..errors import ConfigError
+from ..errors import ConfigError, FaultPlanError
 from .retry import RetryPolicy
 
 #: Recognised whole-device event kinds.
 DEVICE_EVENT_KINDS = ("slowdown", "dropout", "recovery")
+
+#: Per-read corruption kind codes, as emitted by
+#: :meth:`~repro.faults.injector.FaultInjector.corruption_kinds` and
+#: interpreted by :class:`~repro.integrity.verifier.ReadVerifier`.
+CORRUPT_NONE = 0
+#: A transient in-flight bit flip: the device copy is fine, the read is not.
+CORRUPT_BITFLIP = 1
+#: A torn read racing a page write: half old bytes, half new.
+CORRUPT_TORN = 2
+#: Storm-poisoned media: every re-read returns the same corrupt bytes.
+CORRUPT_PERSISTENT = 3
 
 
 @dataclass(frozen=True)
@@ -87,6 +98,42 @@ class CrashEvent:
 
 
 @dataclass(frozen=True)
+class CorruptionEvent:
+    """A device-scoped silent-corruption storm at a simulated time.
+
+    From ``at_time_s`` onward, a seeded pseudo-random ``page_fraction`` of
+    the pages striped onto ``device`` hold *persistently* corrupt bytes —
+    the media copy itself is poisoned, so re-reads keep returning the same
+    bad data (unlike the plan's per-read transient rates).  Membership is a
+    pure hash of ``(plan seed, storm index, page id)``: no set is ever
+    materialized, no random stream is consumed, and two runs (or a
+    killed-and-resumed one) agree on exactly which pages are poisoned.  A
+    poisoned page heals only when something rewrites it from a good copy —
+    the background scrubber, or a repair path that falls back to the
+    CPU-buffer mirror.
+
+    Args:
+        device: index of the SSD within the array (0-based).
+        at_time_s: simulated time the storm lands.
+        page_fraction: fraction of the device's pages poisoned, in (0, 1].
+    """
+
+    device: int
+    at_time_s: float
+    page_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ConfigError(f"device index must be >= 0, got {self.device}")
+        if self.at_time_s < 0:
+            raise ConfigError("storm time must be non-negative")
+        if not 0.0 < self.page_fraction <= 1.0:
+            raise ConfigError(
+                f"page_fraction must be in (0, 1], got {self.page_fraction}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, serializable fault scenario for one run.
 
@@ -106,13 +153,21 @@ class FaultPlan:
     retry_failure_rate: float | None = None
     tail_latency_rate: float = 0.0
     tail_latency_multiplier: float = 10.0
+    bitflip_rate: float = 0.0
+    torn_page_rate: float = 0.0
     device_events: tuple[DeviceEvent, ...] = ()
     crash_events: tuple[CrashEvent, ...] = ()
+    corruption_events: tuple[CorruptionEvent, ...] = ()
     pcie_degradation_factor: float = 1.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
-        for name in ("read_failure_rate", "tail_latency_rate"):
+        for name in (
+            "read_failure_rate",
+            "tail_latency_rate",
+            "bitflip_rate",
+            "torn_page_rate",
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate < 1.0:
                 raise ConfigError(f"{name} must be in [0, 1), got {rate}")
@@ -128,6 +183,9 @@ class FaultPlan:
         )
         object.__setattr__(
             self, "crash_events", tuple(self.crash_events)
+        )
+        object.__setattr__(
+            self, "corruption_events", tuple(self.corruption_events)
         )
 
     @property
@@ -150,6 +208,16 @@ class FaultPlan:
             and self.tail_latency_rate == 0.0
             and not self.device_events
             and self.pcie_degradation_factor == 1.0
+            and not self.has_corruption
+        )
+
+    @property
+    def has_corruption(self) -> bool:
+        """Whether any silent-corruption mechanism is configured."""
+        return (
+            self.bitflip_rate > 0.0
+            or self.torn_page_rate > 0.0
+            or bool(self.corruption_events)
         )
 
     # ------------------------------------------------------------------
@@ -160,6 +228,9 @@ class FaultPlan:
         d = asdict(self)
         d["device_events"] = [asdict(e) for e in self.device_events]
         d["crash_events"] = [asdict(e) for e in self.crash_events]
+        d["corruption_events"] = [
+            asdict(e) for e in self.corruption_events
+        ]
         return d
 
     @classmethod
@@ -170,7 +241,8 @@ class FaultPlan:
         known = {
             "seed", "read_failure_rate", "retry_failure_rate",
             "tail_latency_rate", "tail_latency_multiplier",
-            "device_events", "crash_events",
+            "bitflip_rate", "torn_page_rate",
+            "device_events", "crash_events", "corruption_events",
             "pcie_degradation_factor", "retry",
         }
         unknown = set(data) - known
@@ -189,6 +261,11 @@ class FaultPlan:
                 e if isinstance(e, CrashEvent) else CrashEvent(**e)
                 for e in kwargs["crash_events"]
             )
+        if "corruption_events" in kwargs:
+            kwargs["corruption_events"] = tuple(
+                e if isinstance(e, CorruptionEvent) else CorruptionEvent(**e)
+                for e in kwargs["corruption_events"]
+            )
         if "retry" in kwargs and not isinstance(kwargs["retry"], RetryPolicy):
             kwargs["retry"] = RetryPolicy(**kwargs["retry"])
         return cls(**kwargs)
@@ -197,18 +274,43 @@ class FaultPlan:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str) -> "FaultPlan":
+    def from_json(cls, text: str, *, source: str | None = None) -> "FaultPlan":
+        """Parse a plan from JSON text.
+
+        Malformed JSON raises :class:`~repro.errors.FaultPlanError` (never
+        a raw :class:`json.JSONDecodeError`), naming ``source`` when given
+        so CLI messages point at the offending file.
+        """
+        where = f" in {source!r}" if source else ""
         try:
             data = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise ConfigError(f"invalid fault plan JSON: {exc}") from exc
-        return cls.from_dict(data)
+            raise FaultPlanError(
+                f"invalid fault plan JSON{where}: {exc}"
+            ) from exc
+        try:
+            return cls.from_dict(data)
+        except TypeError as exc:
+            # Dataclass constructors surface bad field shapes as TypeError
+            # (e.g. a string where an event object belongs); keep the
+            # typed-error contract for callers.
+            raise FaultPlanError(
+                f"malformed fault plan{where}: {exc}"
+            ) from exc
 
     @classmethod
     def from_json_file(cls, path: str) -> "FaultPlan":
-        """Load a plan from a JSON file (the ``--fault-plan`` CLI flag)."""
+        """Load a plan from a JSON file (the ``--fault-plan`` CLI flag).
+
+        Unreadable files and malformed JSON raise
+        :class:`~repro.errors.FaultPlanError` carrying ``path`` — raw
+        ``OSError``/``JSONDecodeError`` never escape to callers.
+        """
         try:
             with open(path, encoding="utf-8") as handle:
-                return cls.from_json(handle.read())
+                text = handle.read()
         except OSError as exc:
-            raise ConfigError(f"cannot read fault plan {path!r}: {exc}") from exc
+            raise FaultPlanError(
+                f"cannot read fault plan {path!r}: {exc}"
+            ) from exc
+        return cls.from_json(text, source=path)

@@ -1,0 +1,45 @@
+"""End-to-end data integrity for the storage-backed feature path.
+
+The GIDS access pattern — millions of GPU-initiated 4 KB reads per second
+against consumer SSDs — is exactly where silent bit errors and torn reads
+go unnoticed: a flipped bit in a feature vector corrupts training instead
+of crashing it.  This package closes that exposure:
+
+* :class:`PageChecksummer` — lazy CRC32 digests of every feature page,
+  re-derivable from the ground-truth store (synthetic pages re-hash the
+  splitmix64 generator's output; materialized pages hash the array slice);
+* :class:`CorruptionLedger` — per-device detected/repaired/unrepairable
+  accounting plus the page quarantine set, checkpointable bit-exactly;
+* :class:`ReadVerifier` — the ``verify_reads="off"|"sample"|"full"``
+  policy: digest checks on storage-served pages, bounded re-read repair in
+  modeled time, fallback to the CPU mirror and quarantine when the device
+  copy is poisoned;
+* :class:`Scrubber` — a modeled-time background sweep that finds and
+  rewrites poisoned pages under an idle-IOPS budget.
+
+Corrupt bytes enter through the fault subsystem
+(:class:`~repro.faults.plan.FaultPlan` bit-flip/torn-read rates and
+device-scoped :class:`~repro.faults.plan.CorruptionEvent` storms); this
+package is the matching defense.
+"""
+
+from .checksum import PageChecksummer
+from .ledger import CorruptionLedger
+from .scrubber import ScrubOutcome, Scrubber
+from .verifier import (
+    VERIFY_BANDWIDTH_BYTES_PER_S,
+    VERIFY_MODES,
+    ReadVerifier,
+    VerifyOutcome,
+)
+
+__all__ = [
+    "VERIFY_BANDWIDTH_BYTES_PER_S",
+    "VERIFY_MODES",
+    "CorruptionLedger",
+    "PageChecksummer",
+    "ReadVerifier",
+    "ScrubOutcome",
+    "Scrubber",
+    "VerifyOutcome",
+]

@@ -21,7 +21,10 @@ from .metrics import STAGES, RunReport
 #: v3: added the optional ``checkpoint_summary`` block (supervised runs).
 #: v4: added ``repro_version`` and the optional ``telemetry`` block
 #:     (traced runs: per-track span seconds and the metrics registry).
-EXPORT_SCHEMA_VERSION = 4
+#: v5: added the ``integrity_summary`` block (verify-on-read and scrubber
+#:     accounting; all-zero with ``consistent: true`` when the layer is
+#:     off).
+EXPORT_SCHEMA_VERSION = 5
 
 
 def _finite(value: float) -> float | None:
@@ -97,6 +100,7 @@ def report_to_dict(
             "fallback_fraction": _finite(counters.fallback_fraction),
             "retry_timeouts": counters.retry_timeouts,
         },
+        "integrity_summary": report.integrity_summary(),
         "gpu_cache_hit_ratio": _finite(report.gpu_cache_hit_ratio),
         "redirect_fraction": _finite(counters.redirect_fraction),
         "effective_aggregation_bandwidth": _finite(

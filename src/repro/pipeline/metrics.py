@@ -184,6 +184,27 @@ class RunReport:
             "retry_timeouts": counters.retry_timeouts,
         }
 
+    def integrity_summary(self) -> dict[str, float]:
+        """Data-integrity view of the run (all zero when the layer is off).
+
+        ``consistent`` asserts the layer's core invariant: every detected
+        corruption ended as a repair or a quarantine.
+        """
+        counters = self.counters
+        return {
+            "verified_pages": counters.verified_pages,
+            "unverified_pages": counters.unverified_pages,
+            "corrupt_detected": counters.corrupt_detected,
+            "corrupt_repaired": counters.corrupt_repaired,
+            "corrupt_quarantined": counters.corrupt_quarantined,
+            "integrity_rereads": counters.integrity_rereads,
+            "scrubbed_pages": counters.scrubbed_pages,
+            "consistent": (
+                counters.corrupt_detected
+                == counters.corrupt_repaired + counters.corrupt_quarantined
+            ),
+        }
+
     def breakdown_fractions(self) -> dict[str, float]:
         """Share of serialized time per stage (the Fig. 5 bars)."""
         totals = self.stage_totals

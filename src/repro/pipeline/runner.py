@@ -138,7 +138,14 @@ class TrainingPipeline:
                         self.report.append(metrics)
                         self._pending.append(batch)
                 batch = self._pending.popleft()
-                features = self.loader.store.fetch(batch.input_nodes)
+                fetch = getattr(self.loader, "fetch_features", None)
+                if fetch is not None:
+                    # GIDS-family loaders own the integrity layer: the
+                    # delivered matrix reflects any corruption that slipped
+                    # past verification.
+                    features = fetch(batch)
+                else:
+                    features = self.loader.store.fetch(batch.input_nodes)
             else:
                 batch, features = next(batch_iter)
             labels = self._labels_for(batch.seeds)

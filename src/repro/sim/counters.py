@@ -23,6 +23,14 @@ class TransferCounters:
     reads served by the CPU-buffer/feature-store path because their pages
     were lost (device dropout) or exhausted the retry policy, and
     ``retry_timeouts`` the batches whose retry-time budget ran out.
+
+    The integrity fields likewise stay zero unless verify-on-read or the
+    scrubber is active: ``verified_pages``/``unverified_pages`` partition
+    the storage-served pages by whether their digest was checked,
+    ``corrupt_detected``/``corrupt_repaired``/``corrupt_quarantined`` count
+    digest mismatches and their outcomes, ``integrity_rereads`` the repair
+    re-reads issued (each occupies device service like a fresh command),
+    and ``scrubbed_pages`` the pages inspected by the background scrub.
     """
 
     storage_requests: int = 0
@@ -39,6 +47,13 @@ class TransferCounters:
     fallback_requests: int = 0
     fallback_bytes: int = 0
     retry_timeouts: int = 0
+    verified_pages: int = 0
+    unverified_pages: int = 0
+    corrupt_detected: int = 0
+    corrupt_repaired: int = 0
+    corrupt_quarantined: int = 0
+    integrity_rereads: int = 0
+    scrubbed_pages: int = 0
 
     @property
     def total_requests(self) -> int:

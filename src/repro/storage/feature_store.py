@@ -108,6 +108,38 @@ class FeatureStore:
             return self._data[node_ids]
         return self._synthetic(node_ids)
 
+    def page_payload(self, page_id: int) -> np.ndarray:
+        """Ground-truth bytes of one storage page (``uint8[page_bytes]``).
+
+        Pages pack node vectors densely in id order, so page ``p`` covers
+        bytes ``[p * page_bytes, (p + 1) * page_bytes)`` of the conceptual
+        table.  Synthetic pages re-derive their bytes from the splitmix64
+        generator; materialized pages view the array slice.  The final page
+        is zero-padded past the end of the table, so every page digest is
+        defined over exactly ``page_bytes`` bytes.
+        """
+        page_id = int(page_id)
+        layout = self.layout
+        if page_id < 0 or page_id >= layout.total_pages:
+            raise StorageError(
+                f"page id must lie in [0, {layout.total_pages}), got {page_id}"
+            )
+        page_bytes = layout.page_bytes
+        feature_bytes = self.feature_bytes
+        start_byte = page_id * page_bytes
+        end_byte = start_byte + page_bytes
+        first_node = start_byte // feature_bytes
+        last_node = min(self.num_nodes - 1, (end_byte - 1) // feature_bytes)
+        nodes = np.arange(first_node, last_node + 1, dtype=np.int64)
+        flat = self.fetch(nodes).reshape(-1).view(np.uint8)
+        offset = start_byte - first_node * feature_bytes
+        chunk = flat[offset:offset + page_bytes]
+        if len(chunk) < page_bytes:
+            padded = np.zeros(page_bytes, dtype=np.uint8)
+            padded[: len(chunk)] = chunk
+            return padded
+        return chunk.copy()
+
     def _synthetic(self, node_ids: np.ndarray) -> np.ndarray:
         """Deterministic hash-derived features in [-1, 1)."""
         if len(node_ids) == 0:
