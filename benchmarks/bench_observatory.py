@@ -1,0 +1,19 @@
+"""Observatory attribution: bottleneck flip across an SSD-array sweep."""
+
+from repro.bench.experiments import observatory_ssd_sweep
+
+
+def test_observatory_ssd_sweep(benchmark):
+    result = benchmark.pedantic(observatory_ssd_sweep, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    extras = result.extras
+    # One 980 Pro starves the aggregation stage: the array is the binding
+    # constraint.  Striping to 8 devices shifts the verdict to the PCIe
+    # link, and E2E time improves monotonically along the way.
+    assert extras[1]["bottleneck"] == "ssd"
+    assert extras[8]["bottleneck"] == "pcie"
+    assert extras[1]["ssd_utilization"] > 0.8
+    assert extras[8]["pcie_utilization"] > 0.9
+    e2e = [extras[count]["e2e_seconds"] for count in (1, 2, 4, 8)]
+    assert e2e == sorted(e2e, reverse=True)

@@ -40,6 +40,7 @@ from .errors import (
     FaultPlanError,
     GraphError,
     IntegrityError,
+    ObservatoryError,
     PipelineError,
     ReproError,
     RestartLimitError,
@@ -135,9 +136,24 @@ from .telemetry import (
     Tracer,
     render_trace,
     summarize,
+    summarize_chrome_trace,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from .observatory import (
+    AlertRule,
+    ComparisonResult,
+    RunHistory,
+    RunRecord,
+    SLOMonitor,
+    attribute_summary,
+    compare_summaries,
+    compare_to_history,
+    config_fingerprint,
+    load_alert_rules,
+    system_spec_block,
+    what_if_table,
 )
 from .training import GraphSAGE, synthetic_labels
 
@@ -166,6 +182,7 @@ __all__ = [
     "FaultPlanError",
     "GraphError",
     "IntegrityError",
+    "ObservatoryError",
     "PipelineError",
     "ReproError",
     "RestartLimitError",
@@ -267,9 +284,23 @@ __all__ = [
     "Tracer",
     "render_trace",
     "summarize",
+    "summarize_chrome_trace",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    # observatory
+    "AlertRule",
+    "ComparisonResult",
+    "RunHistory",
+    "RunRecord",
+    "SLOMonitor",
+    "attribute_summary",
+    "compare_summaries",
+    "compare_to_history",
+    "config_fingerprint",
+    "load_alert_rules",
+    "system_spec_block",
+    "what_if_table",
     # training
     "GraphSAGE",
     "synthetic_labels",

@@ -18,6 +18,20 @@ Commands:
 * ``faults validate`` — parse a FaultPlan JSON, cross-check its event
   windows against a planned iteration count and summarize it per device
   (exit 0 when valid, 2 when not).
+* ``analyze`` — bottleneck attribution for a saved report JSON:
+  per-resource achieved-vs-peak utilization, a roofline-style verdict
+  naming the binding bottleneck, and the Eq. 2-3 what-if table.
+* ``compare`` — regression gate between two report JSONs (or one report
+  and a run history's noise band): per-metric deltas and a
+  regression/improvement/neutral verdict.  Exit 0 on neutral or
+  improvement, 3 on regression, 2 on malformed input.
+* ``history record`` / ``history list`` — append report summaries to the
+  local JSONL run history (keyed by config fingerprint + git revision)
+  and inspect the recorded trends.
+
+Analysis subcommands share exit-code conventions: 0 success, 1 runtime
+error, 2 malformed/unsupported input, and 3 (``compare`` only) a
+regression verdict.
 
 ``run`` and ``train`` accept ``--verify-reads off|sample|full`` and
 ``--scrub-iops N`` to enable the integrity layer (digest verification of
@@ -28,8 +42,11 @@ one-line message.
 ``run`` and ``train`` accept ``--trace out.json`` (plus ``--trace-detail
 stage|request``) to record the run's modeled-time telemetry as a Chrome
 trace-event file, loadable in ``chrome://tracing`` / Perfetto or rendered
-with the ``trace`` subcommand.  ``repro --version`` prints the package
-version.
+with the ``trace`` subcommand, and ``--alerts rules.json`` to evaluate
+declarative SLO rules against the finished run (fired rules print to
+stderr, land in the JSON export's ``alerts`` block and — when tracing —
+as instants on the ``alerts`` track).  ``repro --version`` prints the
+package version.
 """
 
 from __future__ import annotations
@@ -156,6 +173,108 @@ def _write_trace(tracer, path: str) -> None:
     print(f"wrote {events} trace events to {path}", file=sys.stderr)
 
 
+def _add_alerts_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--alerts",
+        metavar="RULES_JSON",
+        default=None,
+        help="evaluate declarative SLO alert rules against the finished "
+        "run (fired rules print to stderr and land in the JSON export's "
+        "'alerts' block)",
+    )
+
+
+def _load_alert_rules(path: str):
+    """Load ``--alerts`` rules or exit 2 with a one-line message."""
+    from .errors import ObservatoryError
+    from .observatory import load_alert_rules
+
+    try:
+        return load_alert_rules(path)
+    except ObservatoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _print_alerts(loader_name: str, block: dict) -> None:
+    """One stderr line per fired rule, plus an all-clear / missing note."""
+    for fired in block["fired"]:
+        where = (
+            f" in {fired['count']} iteration(s)" if "count" in fired else ""
+        )
+        print(
+            f"alert [{fired['severity']}] {loader_name}: {fired['name']} "
+            f"— {fired['metric']} {fired['op']} {fired['threshold']:g} "
+            f"(value {fired['value']:g}){where}",
+            file=sys.stderr,
+        )
+    for metric in block["missing"]:
+        print(
+            f"note: alert metric {metric!r} not present in this run",
+            file=sys.stderr,
+        )
+    if block["ok"]:
+        print(
+            f"alerts: {loader_name} passes all {block['rules']} rule(s)",
+            file=sys.stderr,
+        )
+
+
+def _load_report(path: str, loader: str | None = None) -> dict:
+    """Load and validate a report export, or exit 2 with a message.
+
+    ``repro run --format json`` writes a JSON *array* of reports (one per
+    loader); ``loader`` selects one entry from such a file.  A single
+    report object passes through unchanged.
+    """
+    import json
+
+    from .errors import ObservatoryError
+    from .observatory import validate_summary
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read report {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if isinstance(payload, list):
+        if loader is not None:
+            payload = [
+                entry
+                for entry in payload
+                if isinstance(entry, dict) and entry.get("loader") == loader
+            ]
+            if len(payload) != 1:
+                print(
+                    f"error: {path!r} holds no report for loader "
+                    f"{loader!r}",
+                    file=sys.stderr,
+                )
+                raise SystemExit(2)
+            payload = payload[0]
+        elif len(payload) == 1:
+            payload = payload[0]
+        else:
+            names = [
+                entry.get("loader")
+                for entry in payload
+                if isinstance(entry, dict)
+            ]
+            print(
+                f"error: {path!r} holds {len(payload)} reports "
+                f"({names}); pick one with --loader",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    try:
+        validate_summary(payload)
+    except ObservatoryError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    return payload
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -195,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_args(run)
     _add_trace_args(run)
     _add_integrity_args(run)
+    _add_alerts_arg(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -216,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_args(train)
     _add_trace_args(train)
     _add_integrity_args(train)
+    _add_alerts_arg(train)
 
     scrub = sub.add_parser(
         "scrub",
@@ -265,11 +386,136 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="COLS",
         help="timeline width in characters (default: 72)",
     )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable summary (per-track seconds, event "
+        "counts, metrics) instead of the ASCII timeline",
+    )
 
     ssd = sub.add_parser("ssd-model", help="Eq. 2-3 bandwidth model")
     ssd.add_argument("--ssd", choices=sorted(_SSDS), default="optane")
     ssd.add_argument("--num-ssds", type=int, default=1)
     ssd.add_argument("--target", type=float, default=0.95)
+    ssd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the model points as JSON instead of a table",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="bottleneck attribution for a saved report JSON",
+    )
+    analyze.add_argument("report", help="report JSON from run --format json")
+    analyze.add_argument(
+        "--loader",
+        default=None,
+        help="pick one report out of a multi-loader export",
+    )
+    analyze.add_argument(
+        "--ssd",
+        choices=sorted(_SSDS),
+        default="optane",
+        help="fallback hardware specs for reports without an embedded "
+        "attribution block (default: optane)",
+    )
+    analyze.add_argument("--num-ssds", type=int, default=1)
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="print the attribution block as JSON",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="regression gate: compare reports or a report vs the history",
+    )
+    compare.add_argument(
+        "reports",
+        nargs="+",
+        metavar="REPORT",
+        help="BASELINE CANDIDATE report JSONs, or just CANDIDATE with "
+        "--history",
+    )
+    compare.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="compare against the noise band of same-fingerprint records "
+        "in this run-history directory instead of a baseline file",
+    )
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="relative tolerance before a delta counts (default: 0.05)",
+    )
+    compare.add_argument(
+        "--sigma",
+        type=float,
+        default=3.0,
+        metavar="N",
+        help="history noise-band width in standard deviations "
+        "(default: 3.0)",
+    )
+    compare.add_argument(
+        "--loader",
+        default=None,
+        help="pick one report out of multi-loader exports",
+    )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print the comparison result as JSON",
+    )
+
+    history = sub.add_parser(
+        "history", help="record and inspect the local run history"
+    )
+    history_sub = history.add_subparsers(
+        dest="history_command", required=True
+    )
+    record = history_sub.add_parser(
+        "record", help="append a report summary to the run history"
+    )
+    record.add_argument("report", help="report JSON from run --format json")
+    record.add_argument(
+        "--dir",
+        default=".repro-history",
+        metavar="DIR",
+        help="history directory (default: .repro-history)",
+    )
+    record.add_argument(
+        "--label",
+        default=None,
+        help="workload label folded into the config fingerprint",
+    )
+    record.add_argument(
+        "--loader",
+        default=None,
+        help="pick one report out of a multi-loader export",
+    )
+    hist_list = history_sub.add_parser(
+        "list", help="list recorded fingerprints or one trend"
+    )
+    hist_list.add_argument(
+        "--dir",
+        default=".repro-history",
+        metavar="DIR",
+        help="history directory (default: .repro-history)",
+    )
+    hist_list.add_argument(
+        "--fingerprint",
+        default=None,
+        help="show the individual records of one config fingerprint",
+    )
+    hist_list.add_argument(
+        "--json",
+        action="store_true",
+        help="print records as JSON",
+    )
     return parser
 
 
@@ -343,6 +589,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = None
     if args.fault_plan is not None:
         fault_plan = _load_fault_plan(args.fault_plan)
+    alert_rules = None
+    if args.alerts is not None:
+        alert_rules = _load_alert_rules(args.alerts)
 
     if args.trace is not None and args.loader not in ("gids", "bam"):
         print(
@@ -355,7 +604,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.checkpoint_dir is not None:
         return _cmd_run_supervised(
-            args, workload, system, config, common, fault_plan, tracer
+            args, workload, system, config, common, fault_plan, tracer,
+            alert_rules,
         )
 
     heterogeneous = workload.dataset.hetero is not None
@@ -407,6 +657,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not reports:
         print("no loader could run on this workload", file=sys.stderr)
         return 1
+    alerts_blocks: list = [None] * len(reports)
+    if alert_rules is not None:
+        from .observatory import SLOMonitor
+
+        # Evaluate before writing the trace so fired instants land in it.
+        monitor = SLOMonitor(alert_rules, tracer=tracer)
+        alerts_blocks = [monitor.evaluate(r) for r in reports]
+        for report, block in zip(reports, alerts_blocks):
+            _print_alerts(report.loader_name, block)
     if tracer is not None:
         _write_trace(tracer, args.trace)
     if args.format == "json":
@@ -414,7 +673,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # present) belongs to the one report in the list.
         print(
             "["
-            + ",\n".join(report_to_json(r, tracer=tracer) for r in reports)
+            + ",\n".join(
+                report_to_json(
+                    r, tracer=tracer, system=system, alerts=block
+                )
+                for r, block in zip(reports, alerts_blocks)
+            )
             + "]"
         )
     elif args.format == "csv":
@@ -443,7 +707,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_supervised(
-    args, workload, system, config, common, fault_plan, tracer=None
+    args, workload, system, config, common, fault_plan, tracer=None,
+    alert_rules=None,
 ) -> int:
     """``run --checkpoint-dir``: crash-safe supervised functional training.
 
@@ -491,13 +756,21 @@ def _cmd_run_supervised(
     supervisor = _make_supervisor(args, pipeline_factory)
     outcome = supervisor.run(args.iterations)
     summary = outcome.summary
+    alerts_block = None
+    if alert_rules is not None:
+        from .observatory import SLOMonitor
+
+        monitor = SLOMonitor(alert_rules, tracer=tracer)
+        alerts_block = monitor.evaluate(outcome.report)
+        _print_alerts(outcome.report.loader_name, alerts_block)
     if tracer is not None:
         _write_trace(tracer, args.trace)
 
     if args.format == "json":
         print(
             report_to_json(
-                outcome.report, checkpoint_summary=summary, tracer=tracer
+                outcome.report, checkpoint_summary=summary, tracer=tracer,
+                system=system, alerts=alerts_block,
             )
         )
     else:
@@ -551,6 +824,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     fault_plan = None
     if args.fault_plan is not None:
         fault_plan = _load_fault_plan(args.fault_plan)
+    alert_rules = None
+    if args.alerts is not None:
+        alert_rules = _load_alert_rules(args.alerts)
     tracer = _make_tracer(args)
 
     def pipeline_factory() -> TrainingPipeline:
@@ -576,6 +852,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         result = pipeline.train(args.iterations)
         summary = None
         report = pipeline.report
+    if alert_rules is not None:
+        from .observatory import SLOMonitor
+
+        monitor = SLOMonitor(alert_rules, tracer=tracer)
+        _print_alerts(report.loader_name, monitor.evaluate(report))
     if tracer is not None:
         _write_trace(tracer, args.trace)
     first = sum(result.losses[:5]) / 5
@@ -718,7 +999,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
     from .errors import TelemetryError
-    from .telemetry import render_trace, validate_chrome_trace
+    from .telemetry import (
+        render_trace,
+        summarize_chrome_trace,
+        validate_chrome_trace,
+    )
 
     try:
         with open(args.path, encoding="utf-8") as fh:
@@ -728,8 +1013,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     try:
-        validate_chrome_trace(trace)
-        print(render_trace(trace, width=args.width))
+        if args.json:
+            print(
+                json.dumps(
+                    summarize_chrome_trace(trace),
+                    indent=2,
+                    sort_keys=True,
+                    allow_nan=False,
+                )
+            )
+        else:
+            validate_chrome_trace(trace)
+            print(render_trace(trace, width=args.width))
     except TelemetryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -740,15 +1035,43 @@ def _cmd_ssd_model(args: argparse.Namespace) -> int:
     from .sim.ssd import SSDArray
 
     array = SSDArray(_SSDS[args.ssd], args.num_ssds)
-    rows = []
-    for n in (32, 128, 512, 2048, 8192, 32768):
-        rows.append(
-            [
-                n,
-                f"{array.achieved_iops(n) / 1e6:.3f}",
-                f"{array.achieved_bandwidth(n) / 1e9:.2f}",
-            ]
+    points = [
+        {
+            "overlapping": n,
+            "iops": array.achieved_iops(n),
+            "bandwidth_bytes": array.achieved_bandwidth(n),
+        }
+        for n in (32, 128, 512, 2048, 8192, 32768)
+    ]
+    required = array.required_overlapping(args.target)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "ssd": array.spec.name,
+                    "num_ssds": array.num_ssds,
+                    "peak_iops": array.peak_iops,
+                    "peak_bandwidth_bytes": array.peak_bandwidth,
+                    "target": args.target,
+                    "required_overlapping": required,
+                    "points": points,
+                },
+                indent=2,
+                sort_keys=True,
+                allow_nan=False,
+            )
         )
+        return 0
+    rows = [
+        [
+            p["overlapping"],
+            f"{p['iops'] / 1e6:.3f}",
+            f"{p['bandwidth_bytes'] / 1e9:.2f}",
+        ]
+        for p in points
+    ]
     print(
         render_table(
             ["overlapping", "MIOPS", "GB/s"],
@@ -756,10 +1079,257 @@ def _cmd_ssd_model(args: argparse.Namespace) -> int:
             title=f"{array.spec.name} x{array.num_ssds}",
         )
     )
-    required = array.required_overlapping(args.target)
     print(
         f"{required} overlapping accesses reach "
         f"{args.target:.0%} of peak"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """``analyze``: bottleneck attribution for a saved report export."""
+    import json
+
+    from .errors import ObservatoryError
+    from .observatory import attribute_summary, system_spec_block
+
+    summary = _load_report(args.report, loader=args.loader)
+    specs = (summary.get("attribution") or {}).get("specs")
+    if specs is None:
+        from .config import SystemConfig
+
+        specs = system_spec_block(
+            SystemConfig(ssd=_SSDS[args.ssd], num_ssds=args.num_ssds)
+        )
+        print(
+            f"note: report has no embedded specs; assuming "
+            f"{specs['ssd']} x{specs['num_ssds']} (--ssd/--num-ssds)",
+            file=sys.stderr,
+        )
+    try:
+        block = attribute_summary(summary, specs)
+    except ObservatoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(block, indent=2, sort_keys=True, allow_nan=False))
+        return 0
+
+    rows = [
+        [
+            name,
+            f"{entry['achieved']:.4g}",
+            f"{entry['peak']:.4g}",
+            entry["unit"],
+            f"{entry['utilization']:.1%}",
+        ]
+        for name, entry in block["resources"].items()
+    ]
+    print(
+        render_table(
+            ["resource", "achieved", "peak", "unit", "utilization"],
+            rows,
+            title=f"{summary['loader']} on {specs['ssd']} "
+            f"x{specs['num_ssds']} ({summary['iterations']} iterations)",
+        )
+    )
+    fractions = ", ".join(
+        f"{name} {fraction:.0%}"
+        for name, fraction in block["stage_fractions"].items()
+    )
+    print(f"stage breakdown: {fractions}")
+    print(f"bottleneck: {block['bottleneck']} — {block['verdict']}")
+    if block["what_if"]:
+        rows = [
+            [
+                row["scenario"],
+                f"{row['predicted_e2e_seconds'] * 1e3:.3f}",
+                f"{row['delta_seconds'] * 1e3:+.3f}",
+                f"{row['delta_fraction']:+.1%}",
+            ]
+            for row in block["what_if"]
+        ]
+        print(
+            render_table(
+                ["what-if", "predicted E2E ms", "delta ms", "delta"],
+                rows,
+                title="Eq. 2-3 sensitivity (modeled)",
+            )
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """``compare``: regression gate between reports or vs the history."""
+    import json
+
+    from .errors import ObservatoryError
+    from .observatory import (
+        RunHistory,
+        compare_summaries,
+        compare_to_history,
+    )
+
+    try:
+        if args.history is not None:
+            if len(args.reports) != 1:
+                print(
+                    "error: --history takes exactly one CANDIDATE report",
+                    file=sys.stderr,
+                )
+                return 2
+            candidate = _load_report(args.reports[0], loader=args.loader)
+            result = compare_to_history(
+                candidate,
+                RunHistory(args.history),
+                sigma=args.sigma,
+                threshold=args.threshold,
+            )
+        else:
+            if len(args.reports) != 2:
+                print(
+                    "error: compare takes BASELINE and CANDIDATE reports "
+                    "(or one CANDIDATE with --history)",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline = _load_report(args.reports[0], loader=args.loader)
+            candidate = _load_report(args.reports[1], loader=args.loader)
+            result = compare_summaries(
+                baseline, candidate, threshold=args.threshold
+            )
+    except ObservatoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(
+            json.dumps(
+                result.to_dict(), indent=2, sort_keys=True, allow_nan=False
+            )
+        )
+        return result.exit_code
+
+    def fmt(value: float | None) -> str:
+        return "-" if value is None else f"{value:.6g}"
+
+    rows = [
+        [
+            delta.metric,
+            fmt(delta.baseline),
+            fmt(delta.candidate),
+            fmt(delta.delta),
+            "-" if delta.fraction is None else f"{delta.fraction:+.2%}",
+            delta.verdict,
+        ]
+        for delta in result.deltas
+    ]
+    print(
+        render_table(
+            ["metric", "baseline", "candidate", "delta", "%", "verdict"],
+            rows,
+            title=f"comparison ({result.mode} mode, "
+            f"threshold {result.threshold:.0%})",
+        )
+    )
+    if result.drifting:
+        print(
+            "warning: within tolerance but drifting: "
+            + ", ".join(result.drifting),
+            file=sys.stderr,
+        )
+    print(f"verdict: {result.verdict}")
+    return result.exit_code
+
+
+def _cmd_history_record(args: argparse.Namespace) -> int:
+    """``history record``: append one report summary to the history."""
+    from .errors import ObservatoryError
+    from .observatory import RunHistory
+
+    summary = _load_report(args.report, loader=args.loader)
+    try:
+        record = RunHistory(args.dir).append(summary, label=args.label)
+    except (ObservatoryError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    e2e = record.e2e_seconds
+    print(
+        f"recorded {record.loader} run as fingerprint "
+        f"{record.fingerprint} (rev {record.git_rev}, "
+        f"e2e {'-' if e2e is None else f'{e2e * 1e3:.2f} ms'}) "
+        f"in {args.dir}"
+    )
+    return 0
+
+
+def _cmd_history_list(args: argparse.Namespace) -> int:
+    """``history list``: show recorded fingerprints or one trend."""
+    import json
+
+    from .errors import ObservatoryError
+    from .observatory import RunHistory
+
+    history = RunHistory(args.dir)
+    try:
+        records = history.records(args.fingerprint)
+    except ObservatoryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                [record.to_dict() for record in records],
+                indent=2,
+                sort_keys=True,
+                allow_nan=False,
+            )
+        )
+        return 0
+    if not records:
+        print(f"history at {history.path} holds no records")
+        return 0
+    if args.fingerprint is not None:
+        rows = [
+            [
+                record.git_rev,
+                record.loader,
+                record.iterations,
+                "-"
+                if record.e2e_seconds is None
+                else f"{record.e2e_seconds * 1e3:.2f}",
+                record.bottleneck or "-",
+                record.label or "-",
+            ]
+            for record in records
+        ]
+        print(
+            render_table(
+                ["rev", "loader", "iters", "E2E ms", "bottleneck", "label"],
+                rows,
+                title=f"fingerprint {args.fingerprint}",
+            )
+        )
+        return 0
+    counts: dict[str, list] = {}
+    for record in records:
+        counts.setdefault(record.fingerprint, []).append(record)
+    rows = [
+        [
+            fingerprint,
+            len(group),
+            group[-1].loader,
+            group[-1].iterations,
+            group[-1].label or "-",
+        ]
+        for fingerprint, group in counts.items()
+    ]
+    print(
+        render_table(
+            ["fingerprint", "runs", "loader", "iters", "label"],
+            rows,
+            title=f"run history ({history.path})",
+        )
     )
     return 0
 
@@ -787,4 +1357,16 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "ssd-model":
         return _cmd_ssd_model(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "history":
+        if args.history_command == "record":
+            return _cmd_history_record(args)
+        if args.history_command == "list":
+            return _cmd_history_list(args)
+        raise AssertionError(
+            f"unhandled history command {args.history_command!r}"
+        )
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -69,6 +69,10 @@ class TelemetryError(ReproError):
     """A tracer, metric, or trace export was used or formed inconsistently."""
 
 
+class ObservatoryError(ReproError):
+    """A performance-analysis input (report, history, alert rule) is invalid."""
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be written, read, or applied to a pipeline."""
 

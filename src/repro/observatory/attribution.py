@@ -1,0 +1,414 @@
+"""Bottleneck attribution: achieved-vs-peak utilization and what-if analysis.
+
+The paper's core argument is a resource-balancing one: epoch time is governed
+by whichever of SSD IOPS, PCIe ingress bandwidth, the CPU-buffer path, or GPU
+cache service is the binding constraint (Figs. 5, 8-12), and GIDS wins by
+shifting load between those resources.  This module turns a run-report export
+into that analysis:
+
+* **Utilization** — for each modeled resource, the rate the run actually
+  achieved during its aggregation phase (straight from
+  :class:`~repro.sim.counters.TransferCounters`) divided by the peak the sim
+  specs allow.  A roofline-style verdict names the binding bottleneck.
+* **What-if sensitivity** — the Eq. 2-3 analytic SSD model
+  (:class:`~repro.sim.ssd.SSDArray`) plus the PCIe link-sharing formula
+  predict how epoch time would move for +1 SSD, a larger constant CPU buffer,
+  and a deeper look-ahead window.
+
+Everything operates on the plain-dict summaries produced by
+:func:`repro.pipeline.export.report_to_dict`, so the analysis works equally
+on a live :class:`~repro.pipeline.metrics.RunReport` (via the export path)
+and on a report JSON loaded from disk (``repro analyze``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import SSDSpec, SystemConfig
+from ..errors import ObservatoryError
+from ..sim.pcie import PCIeLink
+from ..sim.ssd import SSDArray
+
+#: Resources attributed over the aggregation phase, in display order.
+AGGREGATION_RESOURCES = ("ssd", "pcie", "cpu.buffer", "gpu.hbm")
+
+#: Fraction of storage reads the "+CPU buffer" what-if assumes the enlarged
+#: hot set absorbs.  The report alone cannot say how much of the access
+#: distribution's tail extra capacity would capture, so the scenario is a
+#: sensitivity probe at a fixed, documented absorption, not a fit.
+CPU_BUFFER_ABSORPTION = 0.25
+
+#: Keys every spec block must carry (the export embeds them so a saved
+#: report stays analyzable without the original :class:`SystemConfig`).
+_SPEC_KEYS = (
+    "ssd",
+    "ssd_read_latency_s",
+    "ssd_peak_iops",
+    "page_bytes",
+    "num_ssds",
+    "pcie_bandwidth",
+    "cpu_path_efficiency",
+    "hbm_bandwidth",
+    "training_consumption_rate",
+)
+
+#: Summary keys attribution reads; their absence means the input is not a
+#: run-report export.
+_SUMMARY_KEYS = ("loader", "iterations", "stage_seconds", "counters")
+
+
+def system_spec_block(system: SystemConfig) -> dict:
+    """Flatten the peak-rate specs attribution needs into a JSON block.
+
+    ``ssd_peak_iops`` is per device; collective peaks are derived from
+    ``num_ssds`` so the what-if scenarios can re-solve Eq. 2-3 for a
+    different array width.
+    """
+    link = PCIeLink(system.pcie)
+    return {
+        "ssd": system.ssd.name,
+        "ssd_read_latency_s": system.ssd.read_latency_s,
+        "ssd_peak_iops": system.ssd.peak_iops,
+        "page_bytes": system.ssd.page_bytes,
+        "num_ssds": system.num_ssds,
+        "pcie_bandwidth": system.pcie.bandwidth_bytes,
+        "cpu_path_efficiency": link.cpu_path_efficiency,
+        "hbm_bandwidth": system.gpu.hbm_bandwidth,
+        "training_consumption_rate": system.gpu.training_consumption_rate,
+    }
+
+
+def validate_summary(summary: object) -> dict:
+    """Check that ``summary`` looks like a run-report export; return it.
+
+    Raises :class:`~repro.errors.ObservatoryError` on anything else: wrong
+    JSON shape, missing schema version, a schema newer than this code, or
+    missing required blocks.  Used by every CLI analysis entry point so
+    malformed inputs exit with a one-line message instead of a traceback.
+    """
+    # Local import: pipeline.export imports this module for the
+    # ``attribution`` block, so the reverse import must stay off the
+    # module level.
+    from ..pipeline.export import EXPORT_SCHEMA_VERSION
+
+    if not isinstance(summary, dict):
+        raise ObservatoryError(
+            f"expected a run-report object, got {type(summary).__name__}"
+        )
+    version = summary.get("schema_version")
+    if not isinstance(version, int):
+        raise ObservatoryError(
+            "input is not a run-report export (no schema_version)"
+        )
+    if version > EXPORT_SCHEMA_VERSION:
+        raise ObservatoryError(
+            f"report schema_version {version} is newer than the supported "
+            f"{EXPORT_SCHEMA_VERSION}; upgrade repro to analyze it"
+        )
+    missing = [key for key in _SUMMARY_KEYS if key not in summary]
+    if missing:
+        raise ObservatoryError(
+            f"report export is missing required keys: {missing}"
+        )
+    return summary
+
+
+def _validate_specs(specs: dict) -> dict:
+    if not isinstance(specs, dict):
+        raise ObservatoryError("spec block must be an object")
+    missing = [key for key in _SPEC_KEYS if key not in specs]
+    if missing:
+        raise ObservatoryError(f"spec block is missing keys: {missing}")
+    return specs
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den > 0 else 0.0
+
+
+def _finite(value: float | None) -> float | None:
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def _combine_e2e(prep_s: float, train_s: float, overlapped: bool) -> float:
+    """End-to-end time rule shared with :class:`RunReport.e2e_time`."""
+    return max(prep_s, train_s) if overlapped else prep_s + train_s
+
+
+def _ssd_array(specs: dict, num_ssds: int) -> SSDArray:
+    spec = SSDSpec(
+        name=str(specs["ssd"]),
+        read_latency_s=float(specs["ssd_read_latency_s"]),
+        peak_iops=float(specs["ssd_peak_iops"]),
+        page_bytes=int(specs["page_bytes"]),
+    )
+    return SSDArray(spec, num_ssds)
+
+
+def attribute_summary(summary: dict, specs: dict) -> dict:
+    """Compute the full attribution block for one run-report summary.
+
+    Returns a JSON-ready dict with the spec snapshot, per-resource
+    achieved/peak/utilization numbers, stage fractions, the binding
+    bottleneck with a one-line verdict, and the what-if table.
+    """
+    validate_summary(summary)
+    _validate_specs(specs)
+
+    counters = summary["counters"]
+    faults = summary.get("faults") or {}
+    stage = summary["stage_seconds"]
+    agg_s = float(stage.get("aggregation") or 0.0)
+    train_s = float(stage.get("training") or 0.0)
+    fallback_bytes = int(faults.get("fallback_bytes") or 0)
+
+    storage_requests = int(counters["storage_requests"])
+    storage_bytes = int(counters["storage_bytes"])
+    cpu_bytes = int(counters["cpu_buffer_bytes"]) + fallback_bytes
+    hbm_bytes = int(counters["gpu_cache_bytes"])
+    ingress_bytes = storage_bytes + cpu_bytes
+
+    num_ssds = int(specs["num_ssds"])
+    peak_iops = float(specs["ssd_peak_iops"]) * num_ssds
+    pcie_bw = float(specs["pcie_bandwidth"])
+    cpu_path_bw = pcie_bw * float(specs["cpu_path_efficiency"])
+    hbm_bw = float(specs["hbm_bandwidth"])
+    train_rate = float(specs["training_consumption_rate"])
+
+    total_input_nodes = int(summary.get("total_input_nodes") or 0)
+    resources = {
+        "ssd": {
+            "achieved": _ratio(storage_requests, agg_s),
+            "peak": peak_iops,
+            "unit": "IOPS",
+        },
+        "pcie": {
+            "achieved": _ratio(ingress_bytes, agg_s),
+            "peak": pcie_bw,
+            "unit": "B/s",
+        },
+        "cpu.buffer": {
+            "achieved": _ratio(cpu_bytes, agg_s),
+            "peak": cpu_path_bw,
+            "unit": "B/s",
+        },
+        "gpu.hbm": {
+            "achieved": _ratio(hbm_bytes, agg_s),
+            "peak": hbm_bw,
+            "unit": "B/s",
+        },
+        "gpu.training": {
+            "achieved": _ratio(total_input_nodes, train_s),
+            "peak": train_rate,
+            "unit": "req/s",
+        },
+    }
+    for entry in resources.values():
+        entry["utilization"] = _ratio(entry["achieved"], entry["peak"])
+
+    bottleneck, verdict = _verdict(summary, stage, resources)
+    return {
+        "specs": dict(specs),
+        "resources": resources,
+        "stage_fractions": _stage_fractions(stage),
+        "bottleneck": bottleneck,
+        "verdict": verdict,
+        "what_if": what_if_table(summary, specs),
+    }
+
+
+def _stage_fractions(stage: dict) -> dict:
+    total = sum(float(stage.get(s) or 0.0) for s in stage)
+    if total <= 0:
+        return {name: 0.0 for name in stage}
+    return {
+        name: float(stage.get(name) or 0.0) / total for name in stage
+    }
+
+
+def _verdict(
+    summary: dict, stage: dict, resources: dict
+) -> tuple[str, str]:
+    """Name the binding bottleneck and phrase the roofline verdict.
+
+    The training and sampling stages run at their modeled rates by
+    construction (utilization is 1.0 whenever they run at all), so the
+    stage breakdown decides *which phase* binds, and the achieved-vs-peak
+    ratios decide *which resource* within the aggregation phase.
+    """
+    sampling_s = float(stage.get("sampling") or 0.0)
+    agg_s = float(stage.get("aggregation") or 0.0)
+    transfer_s = float(stage.get("transfer") or 0.0)
+    train_s = float(stage.get("training") or 0.0)
+    prep_s = sampling_s + agg_s + transfer_s
+    overlapped = bool(summary.get("overlapped"))
+
+    if prep_s == 0.0 and train_s == 0.0:
+        return "idle", "run recorded no modeled time"
+    if overlapped and train_s >= prep_s:
+        return (
+            "gpu.training",
+            "training-bound: data preparation overlaps and keeps up "
+            f"(prep {prep_s:.4g}s <= training {train_s:.4g}s); faster "
+            "storage would not shorten the epoch",
+        )
+    if not overlapped and train_s >= prep_s and train_s > 0.0:
+        dominant_stage = "training"
+    else:
+        dominant_stage = max(
+            ("sampling", "aggregation", "transfer"),
+            key=lambda name: float(stage.get(name) or 0.0),
+        )
+    if dominant_stage == "training":
+        return (
+            "gpu.training",
+            "training-bound: the serialized pipeline spends "
+            f"{train_s:.4g}s of its time in model training",
+        )
+    if dominant_stage == "sampling":
+        return (
+            "gpu.sampling",
+            "sampling-bound: graph sampling dominates data preparation "
+            f"({sampling_s:.4g}s vs {agg_s:.4g}s aggregation)",
+        )
+    if dominant_stage == "transfer":
+        return (
+            "pcie",
+            "transfer-bound: the explicit host-to-GPU copy stage "
+            f"dominates ({transfer_s:.4g}s)",
+        )
+    name = max(
+        AGGREGATION_RESOURCES,
+        key=lambda r: resources[r]["utilization"],
+    )
+    entry = resources[name]
+    return (
+        name,
+        f"{name}-bound: aggregation dominates and {name} runs at "
+        f"{entry['utilization']:.1%} of its peak "
+        f"({entry['achieved']:.4g} of {entry['peak']:.4g} {entry['unit']})",
+    )
+
+
+def what_if_table(summary: dict, specs: dict) -> list[dict]:
+    """Predict epoch-time deltas for the paper's three balancing levers.
+
+    Each scenario re-solves the Eq. 2-3 analytic SSD service model and the
+    PCIe link-sharing formula at per-iteration granularity, then scales the
+    *measured* aggregation time by the predicted ratio — so a scenario that
+    leaves the model inputs unchanged predicts exactly the measured run.
+
+    Scenarios:
+
+    * ``+1 SSD`` — one more device striped into the array (collective peak
+      IOPS and bandwidth grow, Eq. 2-3 steady state shortens).
+    * ``+CPU buffer`` — the enlarged hot set absorbs
+      :data:`CPU_BUFFER_ABSORPTION` of storage reads onto the CPU path.
+    * ``2x window depth`` — a deeper look-ahead window lets the accumulator
+      merge twice the iterations per storage kernel, halving the per-
+      iteration share of the fixed T_i/T_t phases.
+    """
+    validate_summary(summary)
+    _validate_specs(specs)
+    iterations = int(summary["iterations"])
+    stage = summary["stage_seconds"]
+    sampling_s = float(stage.get("sampling") or 0.0)
+    agg_s = float(stage.get("aggregation") or 0.0)
+    transfer_s = float(stage.get("transfer") or 0.0)
+    train_s = float(stage.get("training") or 0.0)
+    overlapped = bool(summary.get("overlapped"))
+    if iterations <= 0 or agg_s <= 0.0:
+        return []
+
+    counters = summary["counters"]
+    faults = summary.get("faults") or {}
+    page_bytes = int(specs["page_bytes"])
+    pages = int(counters["storage_requests"]) / iterations
+    storage_bytes = int(counters["storage_bytes"]) / iterations
+    cpu_bytes = (
+        int(counters["cpu_buffer_bytes"])
+        + int(faults.get("fallback_bytes") or 0)
+    ) / iterations
+    hbm_bytes = int(counters["gpu_cache_bytes"]) / iterations
+
+    pcie_bw = float(specs["pcie_bandwidth"])
+    cpu_path_bw = pcie_bw * float(specs["cpu_path_efficiency"])
+    hbm_bw = float(specs["hbm_bandwidth"])
+    num_ssds = int(specs["num_ssds"])
+    base_array = _ssd_array(specs, num_ssds)
+
+    def predict(
+        array: SSDArray,
+        n_pages: float,
+        s_bytes: float,
+        c_bytes: float,
+        merge: float = 1.0,
+    ) -> float:
+        """Per-iteration aggregation time from the analytic models."""
+        n_merged = int(round(n_pages * merge))
+        storage_time = array.batch_service_time(max(n_merged, 0)) / merge
+        cpu_time = c_bytes / cpu_path_bw
+        link_floor = (s_bytes + c_bytes) / pcie_bw
+        return max(storage_time, cpu_time, link_floor) + hbm_bytes / hbm_bw
+
+    base_pred = predict(base_array, pages, storage_bytes, cpu_bytes)
+    base_e2e = _combine_e2e(
+        sampling_s + agg_s + transfer_s, train_s, overlapped
+    )
+
+    moved = CPU_BUFFER_ABSORPTION * pages
+    scenarios = [
+        (
+            "+1 SSD",
+            f"grow the array from {num_ssds} to {num_ssds + 1} devices",
+            predict(
+                _ssd_array(specs, num_ssds + 1),
+                pages,
+                storage_bytes,
+                cpu_bytes,
+            ),
+        ),
+        (
+            "+CPU buffer",
+            f"grow the hot set to absorb {CPU_BUFFER_ABSORPTION:.0%} of "
+            "storage reads onto the CPU path",
+            predict(
+                base_array,
+                pages - moved,
+                storage_bytes - moved * page_bytes,
+                cpu_bytes + moved * page_bytes,
+            ),
+        ),
+        (
+            "2x window depth",
+            "merge twice the iterations per storage kernel (amortizes "
+            "T_init/T_term)",
+            predict(base_array, pages, storage_bytes, cpu_bytes, merge=2.0),
+        ),
+    ]
+
+    table = []
+    for name, description, pred in scenarios:
+        ratio = pred / base_pred if base_pred > 0 else 1.0
+        new_agg = agg_s * ratio
+        new_e2e = _combine_e2e(
+            sampling_s + new_agg + transfer_s, train_s, overlapped
+        )
+        delta = new_e2e - base_e2e
+        table.append(
+            {
+                "scenario": name,
+                "description": description,
+                "predicted_aggregation_seconds": _finite(new_agg),
+                "predicted_e2e_seconds": _finite(new_e2e),
+                "delta_seconds": _finite(delta),
+                "delta_fraction": _finite(
+                    delta / base_e2e if base_e2e > 0 else 0.0
+                ),
+            }
+        )
+    return table

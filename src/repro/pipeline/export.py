@@ -24,7 +24,11 @@ from .metrics import STAGES, RunReport
 #: v5: added the ``integrity_summary`` block (verify-on-read and scrubber
 #:     accounting; all-zero with ``consistent: true`` when the layer is
 #:     off).
-EXPORT_SCHEMA_VERSION = 5
+#: v6: added the optional ``attribution`` block (spec snapshot,
+#:     per-resource utilization, bottleneck verdict, what-if table; runs
+#:     exported with a ``system``) and the optional ``alerts`` block (SLO
+#:     evaluation results; runs exported with ``--alerts``).
+EXPORT_SCHEMA_VERSION = 6
 
 
 def _finite(value: float) -> float | None:
@@ -46,6 +50,8 @@ def report_to_dict(
     *,
     checkpoint_summary: "object | None" = None,
     tracer: "object | None" = None,
+    system: "object | None" = None,
+    alerts: "dict | None" = None,
 ) -> dict:
     """Flatten a run report into a JSON-serializable summary dict.
 
@@ -60,7 +66,19 @@ def report_to_dict(
             :meth:`~repro.telemetry.Tracer.export_block` becomes the
             ``telemetry`` block; ``None`` (untraced runs) exports the
             block as ``None``.
+        system: optional :class:`~repro.config.SystemConfig` the run was
+            modeled on; when given, the export embeds the ``attribution``
+            block (spec snapshot, per-resource utilization, bottleneck
+            verdict and what-if table) so the saved report is analyzable
+            offline.  ``None`` exports the block as ``None``.
+        alerts: optional ``alerts`` summary block from
+            :meth:`~repro.observatory.slo.SLOMonitor.evaluate`; ``None``
+            (no SLO evaluation) exports the block as ``None``.
     """
+    # Local import: the observatory analyzes the dicts this module emits,
+    # so the reverse dependency stays off the module level.
+    from ..observatory.attribution import attribute_summary, system_spec_block
+
     totals = report.stage_totals
     counters = report.counters
     if checkpoint_summary is not None and hasattr(
@@ -70,7 +88,7 @@ def report_to_dict(
     telemetry = None
     if tracer is not None and getattr(tracer, "enabled", True):
         telemetry = tracer.export_block()
-    return {
+    summary = {
         "schema_version": EXPORT_SCHEMA_VERSION,
         "repro_version": package_version(),
         "loader": report.loader_name,
@@ -110,7 +128,14 @@ def report_to_dict(
         "total_input_nodes": report.total_input_nodes,
         "checkpoint_summary": checkpoint_summary,
         "telemetry": telemetry,
+        "attribution": None,
+        "alerts": alerts,
     }
+    if system is not None:
+        summary["attribution"] = attribute_summary(
+            summary, system_spec_block(system)
+        )
+    return summary
 
 
 def report_to_json(
@@ -119,6 +144,8 @@ def report_to_json(
     indent: int = 2,
     checkpoint_summary: "object | None" = None,
     tracer: "object | None" = None,
+    system: "object | None" = None,
+    alerts: "dict | None" = None,
 ) -> str:
     """JSON rendering of :func:`report_to_dict`.
 
@@ -128,7 +155,11 @@ def report_to_json(
     """
     return json.dumps(
         report_to_dict(
-            report, checkpoint_summary=checkpoint_summary, tracer=tracer
+            report,
+            checkpoint_summary=checkpoint_summary,
+            tracer=tracer,
+            system=system,
+            alerts=alerts,
         ),
         indent=indent,
         sort_keys=True,

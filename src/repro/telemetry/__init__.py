@@ -17,6 +17,7 @@ from .tracer import DETAIL_LEVELS, STAGE_TRACKS, TRACKS, Instant, Span, Tracer
 from .export import (
     render_trace,
     summarize,
+    summarize_chrome_trace,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
@@ -35,6 +36,7 @@ __all__ = [
     "Tracer",
     "render_trace",
     "summarize",
+    "summarize_chrome_trace",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -154,6 +154,64 @@ def validate_chrome_trace(trace: dict) -> int:
     return len(events)
 
 
+def summarize_chrome_trace(trace: dict) -> dict:
+    """Machine-readable summary of a saved trace-event document.
+
+    The JSON counterpart of :func:`render_trace` (``repro trace --json``):
+    per-track span seconds and event counts plus the ``otherData`` header,
+    so scripts can consume a trace without re-implementing the event
+    format.  Validates the document first.
+    """
+    validate_chrome_trace(trace)
+    events = trace["traceEvents"]
+    names: dict[int, str] = {}
+    for event in events:
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            names[event["tid"]] = str(event.get("args", {}).get("name", ""))
+
+    tracks: dict[str, dict] = {}
+
+    def _track_entry(tid: int) -> dict:
+        name = names.get(tid, f"tid{tid}")
+        return tracks.setdefault(
+            name, {"span_seconds": 0.0, "spans": 0, "instants": 0}
+        )
+
+    t_lo = None
+    t_hi = None
+    for event in events:
+        if event["ph"] not in ("X", "i"):
+            continue
+        start = event["ts"] / _US
+        end = start
+        entry = _track_entry(event["tid"])
+        if event["ph"] == "X":
+            end = start + event["dur"] / _US
+            entry["span_seconds"] += end - start
+            entry["spans"] += 1
+        else:
+            entry["instants"] += 1
+        t_lo = start if t_lo is None else min(t_lo, start)
+        t_hi = end if t_hi is None else max(t_hi, end)
+
+    other = trace.get("otherData", {})
+    ordered = {name: tracks[name] for name in _track_order(tracks)}
+    return {
+        "span_count": sum(entry["spans"] for entry in tracks.values()),
+        "instant_count": sum(
+            entry["instants"] for entry in tracks.values()
+        ),
+        "start_s": t_lo,
+        "end_s": t_hi,
+        "duration_s": (t_hi - t_lo) if t_lo is not None else None,
+        "tracks": ordered,
+        "detail": other.get("detail"),
+        "clock_s": other.get("clock_s"),
+        "truncated": bool(other.get("truncated", False)),
+        "metrics": other.get("metrics", {}),
+    }
+
+
 # ----------------------------------------------------------------------
 # ASCII rendering
 
@@ -279,6 +337,10 @@ def summarize(tracer: Tracer) -> str:
             )
     for name, summary in tracer.metrics.to_dict().items():
         if summary["kind"] == "histogram":
+            if summary["count"] == 0:
+                # Empty histograms have no percentiles (they export null).
+                lines.append(f"  {name}: n=0")
+                continue
             lines.append(
                 f"  {name}: n={summary['count']} "
                 f"mean={format_time(summary['mean'])} "

@@ -83,6 +83,13 @@ class Histogram:
 
     Percentile queries return the upper bound of the bucket containing the
     requested rank, clamped to the exactly-tracked observed min/max.
+
+    **Empty-percentile contract:** a histogram with no observations has no
+    percentiles — :meth:`percentile` returns ``None`` and :meth:`to_dict`
+    exports ``p50``/``p95``/``p99`` as ``None`` (JSON ``null``), matching
+    the ``min``/``max`` treatment.  Earlier versions returned ``0.0``,
+    which is indistinguishable from a real all-zero distribution and broke
+    SLO rules like ``p99 > X`` on never-touched histograms.
     """
 
     kind = "histogram"
@@ -128,12 +135,16 @@ class Histogram:
         self.min = min(self.min, value)
         self.max = max(self.max, value)
 
-    def percentile(self, p: float) -> float:
-        """Approximate ``p``-th percentile (0 < p <= 100) of observations."""
+    def percentile(self, p: float) -> float | None:
+        """Approximate ``p``-th percentile (0 < p <= 100) of observations.
+
+        Returns ``None`` when the histogram is empty (see the class
+        docstring for the empty-percentile contract).
+        """
         if not 0.0 < p <= 100.0:
             raise TelemetryError(f"percentile must be in (0, 100], got {p}")
         if self.count == 0:
-            return 0.0
+            return None
         rank = math.ceil(p / 100.0 * self.count)
         running = 0
         for idx, count in enumerate(self.counts):

@@ -246,10 +246,24 @@ class TestHistogram:
             hist.percentile(0.0)
 
     def test_empty_histogram_exports_cleanly(self):
+        # Empty-percentile contract: no observations means no percentiles —
+        # None, not 0.0 (0.0 is indistinguishable from a real all-zero
+        # distribution and breaks threshold rules on untouched histograms).
         summary = Histogram("h").to_dict()
         assert summary["count"] == 0
         assert summary["min"] is None and summary["max"] is None
-        assert summary["p50"] == 0.0
+        assert summary["p50"] is None
+        assert summary["p95"] is None and summary["p99"] is None
+
+    def test_empty_histogram_percentile_is_none(self):
+        hist = Histogram("h")
+        assert hist.percentile(50) is None
+        assert hist.percentile(99.9) is None
+        # Out-of-range p still raises, even when empty.
+        with pytest.raises(TelemetryError):
+            hist.percentile(0.0)
+        hist.observe(1.0)
+        assert hist.percentile(50) is not None
 
     def test_state_round_trip(self):
         hist = Histogram("h")
