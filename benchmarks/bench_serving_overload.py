@@ -1,0 +1,153 @@
+"""Serving overload sweep: the hockey-stick curve, with and without armor.
+
+One experiment, two protagonists.  The offered load sweeps a multiplier of
+the stack's measured capacity; at each point the same seeded arrival trace
+drives two servers:
+
+* **protection off** — unbounded queue, no shedding, no brownout.  Past
+  saturation the queue grows without bound and p99 latency collapses into
+  the classic hockey stick.
+* **protection on** — admission control, priority shedding, hedged reads
+  and brownout keep the admitted requests' p99 inside the SLO while
+  goodput plateaus near capacity instead of collapsing.
+
+The run also checks the schema-v7 serving export end to end: shed and
+degraded fractions must surface in the exported JSON and the document must
+pass ``validate_summary``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import INTEL_OPTANE, LoaderConfig, SystemConfig, load_scaled
+from repro.bench.tables import render_table
+from repro.observatory import validate_summary
+from repro.serving import ArrivalConfig, InferenceServer, ServingConfig
+
+LOAD_MULTIPLIERS = (0.5, 0.8, 1.1, 1.5, 2.0)
+REQUESTS = 1200
+DEADLINE_S = 0.05
+SLO_P99_S = 0.05
+
+
+def _dataset():
+    return load_scaled("IGB-tiny", 0.08, seed=3)
+
+
+def _system(dataset):
+    return SystemConfig(
+        ssd=INTEL_OPTANE,
+        num_ssds=2,
+        cpu_memory_limit_bytes=(
+            dataset.structure_data_bytes + dataset.feature_data_bytes * 0.15
+        ),
+    )
+
+
+def _config(dataset):
+    return LoaderConfig(
+        gpu_cache_bytes=dataset.feature_data_bytes * 0.05,
+        cpu_buffer_fraction=0.10,
+    )
+
+
+def _run(dataset, system, config, rate, protection):
+    server = InferenceServer(
+        dataset,
+        system,
+        config,
+        arrival=ArrivalConfig(
+            shape="poisson", rate=rate, seed=5, deadline_s=DEADLINE_S
+        ),
+        serving=ServingConfig(protection=protection, slo_p99_s=SLO_P99_S),
+        fanouts=(5, 5),
+        seed=1,
+    )
+    server.serve(REQUESTS)
+    server.drain()
+    return server.report()
+
+
+def sweep_overload():
+    """(capacity, {multiplier: (unprotected, protected)}) for the sweep."""
+    dataset = _dataset()
+    system = _system(dataset)
+    config = _config(dataset)
+    # Calibrate capacity from a saturated unprotected run: completions per
+    # busy second is the service rate with the queue never empty.
+    calibration = _run(dataset, system, config, rate=20_000.0,
+                       protection=False)
+    capacity = calibration.capacity_req_s
+    points = {}
+    for mult in LOAD_MULTIPLIERS:
+        rate = capacity * mult
+        points[mult] = (
+            _run(dataset, system, config, rate, protection=False),
+            _run(dataset, system, config, rate, protection=True),
+        )
+    return capacity, points
+
+
+def test_overload_hockey_stick(benchmark):
+    capacity, points = benchmark.pedantic(
+        sweep_overload, rounds=1, iterations=1
+    )
+    rows = []
+    for mult, (off, on) in sorted(points.items()):
+        rows.append(
+            [
+                f"{mult:.1f}x",
+                f"{off.latency_percentile(99) * 1e3:.2f}",
+                f"{off.goodput_req_s:.0f}",
+                f"{on.latency_percentile(99) * 1e3:.2f}",
+                f"{on.goodput_req_s:.0f}",
+                f"{on.stats.shed_fraction:.1%}",
+                f"{on.degraded_fraction:.1%}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["load", "p99 ms (off)", "goodput (off)", "p99 ms (on)",
+             "goodput (on)", "shed", "degraded"],
+            rows,
+            title=f"Overload sweep (capacity {capacity:.0f} req/s, "
+            f"SLO p99 {SLO_P99_S * 1e3:.0f} ms)",
+        )
+    )
+
+    # Unprotected: the hockey stick.  p99 must diverge past saturation —
+    # at 2x capacity the backlog grows with every arrival (the tail is
+    # bounded only by the run length), blowing far through the SLO and
+    # dwarfing the light-load tail.
+    light_off = points[LOAD_MULTIPLIERS[0]][0]
+    worst_off = points[LOAD_MULTIPLIERS[-1]][0]
+    assert worst_off.latency_percentile(99) > 3 * SLO_P99_S
+    assert (
+        worst_off.latency_percentile(99)
+        > 10 * light_off.latency_percentile(99)
+    )
+
+    # Protected: bounded tail and a goodput plateau at every overload
+    # point — p99 of admitted requests inside the SLO, goodput >= 90% of
+    # measured capacity.
+    for mult, (_, on) in points.items():
+        assert on.latency_percentile(99) <= SLO_P99_S, mult
+        if mult > 1.0:
+            assert on.goodput_req_s >= 0.9 * capacity, (
+                mult, on.goodput_req_s, capacity,
+            )
+            assert on.stats.shed_fraction > 0.0, mult
+
+    # The overload story survives the trip through the schema-v7 export.
+    overloaded = points[LOAD_MULTIPLIERS[-1]][1]
+    exported = json.loads(
+        json.dumps(overloaded.export_dict(system=_system(_dataset())))
+    )
+    validate_summary(exported)
+    serving = exported["serving"]
+    assert serving["shed_fraction"] > 0.0
+    assert serving["degraded"]["fraction"] >= 0.0
+    assert serving["latency_s"]["p99"] <= SLO_P99_S
+    assert serving["goodput_req_s"] >= 0.9 * capacity

@@ -46,6 +46,7 @@ from .errors import (
     RestartLimitError,
     RetryExhaustedError,
     SamplingError,
+    ServingError,
     SimulatedCrashError,
     StalledRunError,
     StorageError,
@@ -155,6 +156,14 @@ from .observatory import (
     system_spec_block,
     what_if_table,
 )
+from .serving import (
+    ArrivalConfig,
+    ArrivalProcess,
+    InferenceServer,
+    ServingConfig,
+    ServingReport,
+    ServingStats,
+)
 from .training import GraphSAGE, synthetic_labels
 
 __version__ = "1.0.0"
@@ -188,6 +197,7 @@ __all__ = [
     "RestartLimitError",
     "RetryExhaustedError",
     "SamplingError",
+    "ServingError",
     "SimulatedCrashError",
     "StalledRunError",
     "StorageError",
@@ -301,6 +311,13 @@ __all__ = [
     "load_alert_rules",
     "system_spec_block",
     "what_if_table",
+    # serving
+    "ArrivalConfig",
+    "ArrivalProcess",
+    "InferenceServer",
+    "ServingConfig",
+    "ServingReport",
+    "ServingStats",
     # training
     "GraphSAGE",
     "synthetic_labels",

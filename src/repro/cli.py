@@ -11,6 +11,12 @@ Commands:
 * ``figure`` — regenerate one paper figure/table by name.
 * ``train`` — functional GraphSAGE training through the GIDS loader, with
   the same supervised checkpoint/resume flags.
+* ``serve`` — overload-protected online inference in modeled time: a
+  seeded open-loop arrival process (``--shape poisson|diurnal|bursty``)
+  drives per-request sample→fetch→aggregate through admission control,
+  priority load shedding, per-device circuit breakers, hedged reads and
+  brownout degradation (``--no-protection`` disables all five layers;
+  ``-o out.json`` writes the schema-v7 serving export).
 * ``trace`` — render a saved Chrome-trace JSON as an ASCII timeline.
 * ``ssd-model`` — print the Eq. 2-3 bandwidth model for an SSD.
 * ``scrub`` — sweep a workload's feature pages against their digests,
@@ -337,6 +343,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_args(train)
     _add_integrity_args(train)
     _add_alerts_arg(train)
+
+    serve = sub.add_parser(
+        "serve",
+        help="overload-protected online inference in modeled time",
+    )
+    serve.add_argument("--dataset", default="IGB-tiny")
+    serve.add_argument("--scale", type=float, default=0.1,
+                       help="dataset shrink factor (default: 0.1)")
+    serve.add_argument("--ssd", choices=sorted(_SSDS), default="optane")
+    serve.add_argument("--num-ssds", type=int, default=1)
+    serve.add_argument("--requests", type=int, default=2000,
+                       help="arrivals to generate (default: 2000)")
+    serve.add_argument(
+        "--shape", choices=["poisson", "diurnal", "bursty"],
+        default="poisson",
+        help="arrival shape (default: poisson steady state)",
+    )
+    serve.add_argument("--rate", type=float, default=2000.0,
+                       help="baseline offered rate in req/s (default: 2000)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="arrival-trace seed (default: 0)")
+    serve.add_argument(
+        "--priority-mix", default="0.2,0.6,0.2", metavar="HI,NORM,LOW",
+        help="high/normal/low traffic fractions (default: 0.2,0.6,0.2)",
+    )
+    serve.add_argument("--deadline-ms", type=float, default=50.0,
+                       help="per-request deadline (default: 50 ms)")
+    serve.add_argument(
+        "--slo-p99-ms", type=float, default=50.0,
+        help="p99 objective driving brownout degradation (default: 50 ms)",
+    )
+    serve.add_argument(
+        "--no-protection", action="store_true",
+        help="disable every protection layer (shows the unprotected "
+        "latency collapse past saturation)",
+    )
+    serve.add_argument(
+        "--fault-plan", metavar="JSON_PATH", default=None,
+        help="inject storage faults from a FaultPlan JSON file (device "
+        "dropouts exercise the per-device circuit breakers)",
+    )
+    serve.add_argument("--format", choices=["table", "json"],
+                       default="table")
+    serve.add_argument(
+        "-o", "--output", metavar="JSON_PATH", default=None,
+        help="also write the schema-v7 serving export to this file",
+    )
+    _add_trace_args(serve)
+    _add_alerts_arg(serve)
 
     scrub = sub.add_parser(
         "scrub",
@@ -882,6 +937,144 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: an overload-protected online inference run."""
+    import json
+
+    from .bench.workloads import get_workload
+    from .errors import ConfigError
+    from .serving import PRIORITIES, ArrivalConfig, InferenceServer, ServingConfig
+    from .utils import format_rate, format_time
+
+    try:
+        mix = tuple(float(p) for p in args.priority_mix.split(","))
+        arrival = ArrivalConfig(
+            shape=args.shape,
+            rate=args.rate,
+            seed=args.seed,
+            priority_mix=mix,
+            deadline_s=args.deadline_ms / 1e3,
+        )
+        serving = ServingConfig(
+            protection=not args.no_protection,
+            slo_p99_s=args.slo_p99_ms / 1e3,
+        )
+    except (ConfigError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.requests <= 0:
+        print("error: --requests must be positive", file=sys.stderr)
+        return 2
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = _load_fault_plan(args.fault_plan)
+    alert_rules = None
+    if args.alerts is not None:
+        alert_rules = _load_alert_rules(args.alerts)
+    tracer = _make_tracer(args)
+
+    workload = get_workload(args.dataset, scale=args.scale)
+    system = workload.system(_SSDS[args.ssd], num_ssds=args.num_ssds)
+    server = InferenceServer(
+        workload.dataset,
+        system,
+        workload.loader_config(),
+        arrival=arrival,
+        serving=serving,
+        fanouts=workload.fanouts,
+        hot_nodes=workload.hot_nodes,
+        seed=1,
+        fault_plan=fault_plan,
+        tracer=tracer,
+    )
+    server.serve(args.requests)
+    server.drain()
+    report = server.report()
+
+    alerts_block = None
+    if alert_rules is not None:
+        from .observatory import SLOMonitor
+
+        # Serving has no RunReport: rules are evaluated against the
+        # metrics registry (report-scoped rules are listed as missing).
+        monitor = SLOMonitor(alert_rules, tracer=tracer)
+        alerts_block = monitor.evaluate(None, server.registry)
+        _print_alerts(server.name, alerts_block)
+    summary = report.export_dict(
+        tracer=tracer, system=system, alerts=alerts_block
+    )
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"wrote serving export to {args.output}", file=sys.stderr)
+
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+        return 0
+
+    stats = report.stats
+    rows = [
+        [
+            PRIORITIES[tier],
+            stats.offered[tier],
+            stats.admitted[tier],
+            stats.shed[tier],
+            stats.rejected[tier],
+            stats.completed[tier],
+            stats.deadline_met[tier],
+            stats.deadline_missed[tier],
+        ]
+        for tier in range(len(PRIORITIES))
+    ]
+    protection = "on" if report.protection else "OFF"
+    print(
+        render_table(
+            ["priority", "offered", "admitted", "shed", "rejected",
+             "completed", "met", "missed"],
+            rows,
+            title=f"{args.dataset} serving: {args.shape} @ "
+            f"{format_rate(args.rate)}, protection {protection}",
+        )
+    )
+    p50, p99 = report.latency_percentile(50), report.latency_percentile(99)
+    if p99 is not None:
+        within = "within" if p99 <= report.slo_p99_s else "VIOLATES"
+        print(
+            f"latency: p50 {format_time(p50)}, p99 {format_time(p99)} "
+            f"({within} the {format_time(report.slo_p99_s)} SLO)"
+        )
+    print(
+        f"goodput {format_rate(report.goodput_req_s)} of "
+        f"{format_rate(report.capacity_req_s)} capacity; "
+        f"shed {stats.shed_fraction:.1%}, degraded "
+        f"{report.degraded_fraction:.1%} "
+        f"({report.stale_requests} stale)"
+    )
+    if report.hedge["issued"]:
+        print(
+            f"hedged reads: {report.hedge['issued']} issued, "
+            f"{report.hedge['won']} won"
+        )
+    if report.breaker_transitions:
+        opens = sum(
+            1 for t in report.breaker_transitions if t["to"] == "open"
+        )
+        print(
+            f"breakers: {len(report.breaker_transitions)} transition(s), "
+            f"{opens} open event(s), {report.breaker_open_count} "
+            "currently not closed"
+        )
+    for t in report.brownout_transitions:
+        print(
+            f"brownout: {t['from_level']} -> {t['to_level']} at "
+            f"{t['at_s']:.3f}s"
+        )
+    return 0
+
+
 def _cmd_scrub(args: argparse.Namespace) -> int:
     """``scrub``: one offline integrity sweep over a workload's pages."""
     from .faults.injector import FaultInjector
@@ -1156,6 +1349,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 title="Eq. 2-3 sensitivity (modeled)",
             )
         )
+        for row in block["what_if"]:
+            if row["scenario"] != "capacity":
+                continue
+            max_req_s = row.get("max_sustainable_req_s")
+            if max_req_s is not None:
+                from .utils import format_rate
+
+                print(
+                    f"capacity: ~{format_rate(max_req_s)} feature requests "
+                    f"sustainable at the {row['bottleneck']} bottleneck "
+                    f"(achieved {format_rate(row['achieved_req_s'])}, "
+                    f"{row['utilization']:.1%} utilized)"
+                )
     return 0
 
 
@@ -1345,6 +1551,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "scrub":
         return _cmd_scrub(args)
     if args.command == "faults":

@@ -73,6 +73,10 @@ class ObservatoryError(ReproError):
     """A performance-analysis input (report, history, alert rule) is invalid."""
 
 
+class ServingError(ReproError):
+    """The online-serving layer was configured or driven inconsistently."""
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be written, read, or applied to a pipeline."""
 

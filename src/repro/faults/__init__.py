@@ -26,11 +26,12 @@ from .plan import (
     DeviceEvent,
     FaultPlan,
 )
-from .retry import RetryPolicy
+from .retry import Budget, RetryPolicy
 from .injector import BatchFaultOutcome, FaultInjector, FaultStats
 from .array import FaultySSDArray
 
 __all__ = [
+    "Budget",
     "CORRUPT_BITFLIP",
     "CORRUPT_NONE",
     "CORRUPT_PERSISTENT",

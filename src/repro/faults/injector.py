@@ -22,7 +22,7 @@ from .plan import (
     CORRUPT_TORN,
     FaultPlan,
 )
-from .retry import RetryPolicy
+from .retry import Budget, RetryPolicy
 
 #: Salt stride separating the hash streams of successive corruption storms.
 _STORM_SALT_STRIDE = 0x51_7C_C1_B7_27_22_0A_95
@@ -365,23 +365,22 @@ class FaultInjector:
         rate = self.plan.read_failure_rate
         if n_requests == 0 or rate == 0.0:
             return BatchFaultOutcome(attempted=n_requests)
-        budget = policy.batch_timeout_s
+        allowance = policy.batch_timeout_s
         if time_budget_s is not None:
-            budget = min(budget, time_budget_s)
+            allowance = min(allowance, time_budget_s)
+        budget = Budget(allowance)
 
         failed = int(self._rng.binomial(n_requests, rate))
         injected = failed
         retries = 0
-        backoff_total = 0.0
         timed_out = False
         retry_rate = self.plan.effective_retry_failure_rate
         attempt = 1
         while failed > 0 and attempt <= policy.max_retries:
             wait = policy.backoff_s(attempt, self._rng)
-            if backoff_total + wait > budget:
+            if not budget.try_spend(wait):
                 timed_out = True
                 break
-            backoff_total += wait
             retries += failed
             still_failed = (
                 int(self._rng.binomial(failed, retry_rate))
@@ -403,7 +402,7 @@ class FaultInjector:
             injected_failures=injected,
             retries=retries,
             unrecovered=failed,
-            backoff_s=backoff_total,
+            backoff_s=budget.spent_s,
             timed_out=timed_out,
         )
         self.stats.injected_failures += injected

@@ -1,4 +1,4 @@
-"""Retry/backoff policy for failed storage reads, in modeled time.
+"""Retry/backoff policy and shared attempt-time budget, in modeled time.
 
 When an injected fault fails a GPU-initiated read, the loader does what a
 production storage stack would: retry with bounded exponential backoff,
@@ -6,6 +6,11 @@ give up after ``max_retries`` attempts, and stop burning time once the
 per-batch retry budget is exhausted.  Every second spent here is
 *simulated* time, charged to the loader's aggregation stage — the Python
 process never sleeps.
+
+:class:`Budget` is the deadline-aware heart of that bookkeeping, factored
+out so *every* extra-attempt mechanism — training retries here, hedged
+reads in the serving layer — caps its amplification with the same
+total-attempt-time arithmetic and the two paths cannot drift.
 """
 
 from __future__ import annotations
@@ -14,7 +19,63 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import CheckpointError, ConfigError
+from ..utils import require_finite
+
+
+class Budget:
+    """A spendable cap on cumulative modeled attempt time.
+
+    The cap is on *time*, not attempt count: a mechanism may issue as many
+    extra attempts as it likes while their modeled cost fits, and stops the
+    moment the next attempt would not.  ``try_spend`` is the only gate —
+    it either books the cost atomically or leaves the budget untouched, so
+    callers never half-charge an attempt.
+
+    ``grant`` lets long-lived users (the serving hedge policy) accrue
+    headroom continuously, turning the same object into a token bucket
+    denominated in seconds; one-shot users (the per-batch retry loop)
+    construct it with their full allowance and never top it up.
+    """
+
+    def __init__(self, total_s: float) -> None:
+        self.total_s = require_finite("budget total_s", total_s, minimum=0.0)
+        self.spent_s = 0.0
+
+    @property
+    def remaining_s(self) -> float:
+        return max(0.0, self.total_s - self.spent_s)
+
+    def can_spend(self, cost_s: float) -> bool:
+        """Would ``cost_s`` fit in the remaining allowance?"""
+        if cost_s < 0:
+            raise ConfigError(f"cost must be non-negative, got {cost_s}")
+        return self.spent_s + cost_s <= self.total_s
+
+    def try_spend(self, cost_s: float) -> bool:
+        """Book ``cost_s`` if it fits; return whether it did."""
+        if not self.can_spend(cost_s):
+            return False
+        self.spent_s += cost_s
+        return True
+
+    def grant(self, extra_s: float) -> None:
+        """Raise the cap by ``extra_s`` (continuous-accrual users)."""
+        self.total_s += require_finite(
+            "budget grant", extra_s, minimum=0.0
+        )
+
+    def state_dict(self) -> dict:
+        return {"total_s": self.total_s, "spent_s": self.spent_s}
+
+    def load_state_dict(self, state: dict) -> None:
+        unknown = set(state) - {"total_s", "spent_s"}
+        if unknown:
+            raise CheckpointError(
+                f"unknown budget fields: {sorted(unknown)}"
+            )
+        self.total_s = float(state["total_s"])
+        self.spent_s = float(state["spent_s"])
 
 
 @dataclass(frozen=True)
@@ -45,14 +106,21 @@ class RetryPolicy:
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ConfigError("max_retries must be non-negative")
-        if self.backoff_base_s < 0:
-            raise ConfigError("backoff_base_s must be non-negative")
-        if self.backoff_multiplier < 1.0:
-            raise ConfigError("backoff_multiplier must be >= 1")
-        if not 0.0 <= self.backoff_jitter < 1.0:
+        require_finite("backoff_base_s", self.backoff_base_s, minimum=0.0)
+        require_finite(
+            "backoff_multiplier", self.backoff_multiplier, minimum=1.0
+        )
+        jitter = require_finite(
+            "backoff_jitter", self.backoff_jitter, minimum=0.0
+        )
+        if jitter >= 1.0:
             raise ConfigError("backoff_jitter must be in [0, 1)")
-        if self.batch_timeout_s <= 0:
-            raise ConfigError("batch_timeout_s must be positive")
+        require_finite(
+            "batch_timeout_s",
+            self.batch_timeout_s,
+            minimum=0.0,
+            exclusive_minimum=True,
+        )
 
     def backoff_s(
         self, attempt: int, rng: np.random.Generator | None = None

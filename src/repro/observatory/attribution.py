@@ -311,6 +311,12 @@ def what_if_table(summary: dict, specs: dict) -> list[dict]:
     * ``2x window depth`` — a deeper look-ahead window lets the accumulator
       merge twice the iterations per storage kernel, halving the per-
       iteration share of the fixed T_i/T_t phases.
+    * ``capacity`` — not a change at all but a headroom read-out: the max
+      sustainable feature-request rate at the current bottleneck resource
+      (achieved request rate divided by the bottleneck's utilization), the
+      number that answers "how many req/s before this array saturates?".
+      Its predicted times equal the measured run (delta 0) and it carries
+      the extra ``max_sustainable_req_s``/``bottleneck`` keys.
     """
     validate_summary(summary)
     _validate_specs(specs)
@@ -411,4 +417,55 @@ def what_if_table(summary: dict, specs: dict) -> list[dict]:
                 ),
             }
         )
+
+    # Capacity headroom at the binding aggregation resource: how far the
+    # achieved request rate could scale before the busiest resource hits
+    # its peak.  Uses the run-total (not per-iteration) rates, mirroring
+    # the utilization math in :func:`attribute_summary`.
+    total_storage_bytes = int(counters["storage_bytes"])
+    total_cpu_bytes = int(counters["cpu_buffer_bytes"]) + int(
+        faults.get("fallback_bytes") or 0
+    )
+    total_hbm_bytes = int(counters["gpu_cache_bytes"])
+    utilizations = {
+        "ssd": _ratio(
+            _ratio(int(counters["storage_requests"]), agg_s),
+            float(specs["ssd_peak_iops"]) * num_ssds,
+        ),
+        "pcie": _ratio(
+            _ratio(total_storage_bytes + total_cpu_bytes, agg_s), pcie_bw
+        ),
+        "cpu.buffer": _ratio(_ratio(total_cpu_bytes, agg_s), cpu_path_bw),
+        "gpu.hbm": _ratio(_ratio(total_hbm_bytes, agg_s), hbm_bw),
+    }
+    bottleneck = max(utilizations, key=utilizations.get)
+    utilization = utilizations[bottleneck]
+    total_requests = (
+        int(counters["storage_requests"])
+        + int(counters["cpu_buffer_requests"])
+        + int(counters["gpu_cache_hits"])
+        + int(faults.get("fallback_requests") or 0)
+    )
+    achieved_req_s = _ratio(total_requests, agg_s)
+    max_req_s = (
+        achieved_req_s / utilization if utilization > 0 else None
+    )
+    table.append(
+        {
+            "scenario": "capacity",
+            "description": (
+                f"max sustainable feature-request rate before the "
+                f"{bottleneck} resource saturates (currently at "
+                f"{utilization:.1%})"
+            ),
+            "predicted_aggregation_seconds": _finite(agg_s),
+            "predicted_e2e_seconds": _finite(base_e2e),
+            "delta_seconds": 0.0,
+            "delta_fraction": 0.0,
+            "bottleneck": bottleneck,
+            "utilization": _finite(utilization),
+            "achieved_req_s": _finite(achieved_req_s),
+            "max_sustainable_req_s": _finite(max_req_s),
+        }
+    )
     return table

@@ -254,11 +254,15 @@ class SLOMonitor:
         self.rules = list(rules)
         self.tracer = tracer
 
-    def evaluate(self, report: RunReport, registry=None) -> dict:
+    def evaluate(self, report: RunReport | None, registry=None) -> dict:
         """Evaluate every rule; returns the ``alerts`` summary block.
 
         ``registry`` defaults to the attached tracer's metrics registry, so
-        ``metrics.*`` rules work out of the box on traced runs.
+        ``metrics.*`` rules work out of the box on traced runs.  ``report``
+        may be ``None`` for registry-only evaluation (the serving layer's
+        brownout controller runs mid-flight, before any
+        :class:`~repro.pipeline.metrics.RunReport` exists); ``report.*``
+        and ``iteration.*`` rules then resolve as missing.
         """
         if registry is None and self.tracer is not None:
             registry = self.tracer.metrics
@@ -266,6 +270,9 @@ class SLOMonitor:
         missing: list[str] = []
         for rule in self.rules:
             path = rule.metric.split(".", 1)[1]
+            if rule.scope in ("iteration", "report") and report is None:
+                missing.append(rule.metric)
+                continue
             if rule.scope == "iteration":
                 entry = self._evaluate_iterations(rule, path, report)
                 if entry is None and not any(

@@ -28,7 +28,11 @@ from .metrics import STAGES, RunReport
 #:     per-resource utilization, bottleneck verdict, what-if table; runs
 #:     exported with a ``system``) and the optional ``alerts`` block (SLO
 #:     evaluation results; runs exported with ``--alerts``).
-EXPORT_SCHEMA_VERSION = 6
+#: v7: added the optional ``serving`` block (``repro serve`` overload
+#:     accounting: offered/admitted/shed/rejected counts, latency
+#:     percentiles, breaker and brownout transitions) and the ``capacity``
+#:     row of the attribution what-if table.
+EXPORT_SCHEMA_VERSION = 7
 
 
 def _finite(value: float) -> float | None:
@@ -52,6 +56,7 @@ def report_to_dict(
     tracer: "object | None" = None,
     system: "object | None" = None,
     alerts: "dict | None" = None,
+    serving: "dict | None" = None,
 ) -> dict:
     """Flatten a run report into a JSON-serializable summary dict.
 
@@ -74,6 +79,9 @@ def report_to_dict(
         alerts: optional ``alerts`` summary block from
             :meth:`~repro.observatory.slo.SLOMonitor.evaluate`; ``None``
             (no SLO evaluation) exports the block as ``None``.
+        serving: optional ``serving`` block from
+            :meth:`~repro.serving.report.ServingReport.to_dict`; ``None``
+            (training runs) exports the block as ``None``.
     """
     # Local import: the observatory analyzes the dicts this module emits,
     # so the reverse dependency stays off the module level.
@@ -130,6 +138,7 @@ def report_to_dict(
         "telemetry": telemetry,
         "attribution": None,
         "alerts": alerts,
+        "serving": serving,
     }
     if system is not None:
         summary["attribution"] = attribute_summary(

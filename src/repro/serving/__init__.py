@@ -1,0 +1,69 @@
+"""Overload-resilient online inference over the GIDS storage stack.
+
+``repro serve`` drives the same sample→fetch→aggregate pipeline the
+training loaders use, but per-request, against a seeded open-loop arrival
+process — and wraps it in layered overload protection: admission control,
+priority-aware load shedding, per-device circuit breakers, hedged storage
+reads, and brownout quality degradation.  Everything runs in modeled time,
+deterministic under a seed, and checkpoint/resume-safe.  See
+``docs/SERVING.md``.
+"""
+
+from .admission import (
+    ADMIT,
+    REJECT_DEADLINE,
+    REJECT_QUEUE,
+    SHED,
+    AdmissionController,
+    TokenBucket,
+)
+from .arrival import ArrivalProcess, Request
+from .breaker import (
+    BREAKERS_TRACK,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from .brownout import BrownoutController
+from .config import (
+    ARRIVAL_SHAPES,
+    DEFAULT_BROWNOUT_LEVELS,
+    PRIORITIES,
+    ArrivalConfig,
+    BrownoutLevel,
+    ServingConfig,
+)
+from .hedging import HedgePolicy
+from .report import ServingReport, ServingStats
+from .server import SERVING_TRACK, InferenceServer
+
+__all__ = [
+    "ADMIT",
+    "ARRIVAL_SHAPES",
+    "BREAKERS_TRACK",
+    "CLOSED",
+    "DEFAULT_BROWNOUT_LEVELS",
+    "HALF_OPEN",
+    "OPEN",
+    "PRIORITIES",
+    "REJECT_DEADLINE",
+    "REJECT_QUEUE",
+    "SERVING_TRACK",
+    "SHED",
+    "AdmissionController",
+    "ArrivalConfig",
+    "ArrivalProcess",
+    "BreakerBoard",
+    "BrownoutController",
+    "BrownoutLevel",
+    "CircuitBreaker",
+    "HedgePolicy",
+    "InferenceServer",
+    "Request",
+    "ServingConfig",
+    "ServingReport",
+    "ServingStats",
+    "TokenBucket",
+]

@@ -1,0 +1,281 @@
+"""Configuration for the online-serving layer.
+
+Two frozen dataclasses: :class:`ArrivalConfig` describes the open-loop
+traffic (shape, rate, priority mix, deadlines), :class:`ServingConfig` the
+protection machinery wrapped around the shared storage stack.  Both follow
+the :class:`~repro.faults.retry.RetryPolicy` validation discipline —
+every numeric field goes through :func:`~repro.utils.require_finite`, so a
+NaN deadline or an infinite bucket rate fails construction with a
+:class:`~repro.errors.ConfigError` instead of silently disabling a guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..utils import require_finite
+
+#: Recognised arrival shapes.
+ARRIVAL_SHAPES = ("poisson", "diurnal", "bursty")
+
+#: Priority tiers, most important first.  Shedding walks them backwards.
+PRIORITIES = ("high", "normal", "low")
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Open-loop arrival process description (all seeded, all modeled time).
+
+    Args:
+        shape: ``"poisson"`` (constant rate), ``"diurnal"`` (sinusoidal
+            rate swing with period ``period_s`` and relative amplitude
+            ``amplitude``) or ``"bursty"`` (flash crowd: ``rate`` is
+            multiplied by ``burst_multiplier`` during the window starting
+            at ``burst_start_s``).
+        rate: steady-state offered load in requests per modeled second.
+        seed: RNG seed for interarrival draws, priority assignment and
+            seed-node selection.  The stream is private to the arrival
+            process, mirroring the fault injector's isolation rule.
+        priority_mix: probability of each tier in :data:`PRIORITIES`
+            (must sum to 1).
+        deadline_s: per-request completion deadline, measured from arrival.
+    """
+
+    shape: str = "poisson"
+    rate: float = 1000.0
+    seed: int = 0
+    priority_mix: tuple[float, float, float] = (0.2, 0.6, 0.2)
+    deadline_s: float = 0.05
+    period_s: float = 10.0
+    amplitude: float = 0.5
+    burst_multiplier: float = 5.0
+    burst_start_s: float = 1.0
+    burst_duration_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.shape not in ARRIVAL_SHAPES:
+            raise ConfigError(
+                f"unknown arrival shape {self.shape!r}; expected one of "
+                f"{ARRIVAL_SHAPES}"
+            )
+        require_finite("rate", self.rate, minimum=0.0, exclusive_minimum=True)
+        if len(self.priority_mix) != len(PRIORITIES):
+            raise ConfigError(
+                f"priority_mix needs {len(PRIORITIES)} entries "
+                f"({', '.join(PRIORITIES)}), got {len(self.priority_mix)}"
+            )
+        total = 0.0
+        for name, p in zip(PRIORITIES, self.priority_mix):
+            total += require_finite(
+                f"priority_mix[{name}]", p, minimum=0.0, maximum=1.0
+            )
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(
+                f"priority_mix must sum to 1, got {total}"
+            )
+        require_finite(
+            "deadline_s", self.deadline_s, minimum=0.0, exclusive_minimum=True
+        )
+        require_finite(
+            "period_s", self.period_s, minimum=0.0, exclusive_minimum=True
+        )
+        require_finite("amplitude", self.amplitude, minimum=0.0, maximum=1.0)
+        require_finite(
+            "burst_multiplier", self.burst_multiplier, minimum=1.0
+        )
+        require_finite("burst_start_s", self.burst_start_s, minimum=0.0)
+        require_finite(
+            "burst_duration_s",
+            self.burst_duration_s,
+            minimum=0.0,
+            exclusive_minimum=True,
+        )
+
+    @property
+    def peak_rate(self) -> float:
+        """Upper bound of the instantaneous rate (thinning envelope)."""
+        if self.shape == "diurnal":
+            return self.rate * (1.0 + self.amplitude)
+        if self.shape == "bursty":
+            return self.rate * self.burst_multiplier
+        return self.rate
+
+
+@dataclass(frozen=True)
+class BrownoutLevel:
+    """One declared service-quality level of the brownout ladder."""
+
+    name: str
+    fanout_scale: float = 1.0
+    cache_only: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("brownout level needs a non-empty name")
+        require_finite(
+            "fanout_scale",
+            self.fanout_scale,
+            minimum=0.0,
+            exclusive_minimum=True,
+            maximum=1.0,
+        )
+
+
+#: Default brownout ladder: full quality, reduced fanout, cache-only.
+DEFAULT_BROWNOUT_LEVELS = (
+    BrownoutLevel("full", fanout_scale=1.0),
+    BrownoutLevel("reduced-fanout", fanout_scale=0.5),
+    BrownoutLevel("cache-only", fanout_scale=0.5, cache_only=True),
+)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the layered overload-protection subsystem.
+
+    ``protection`` is the master switch: off means an unbounded FIFO queue
+    with no shedding, breakers, hedging or brownout — the configuration
+    that produces the classic latency collapse past saturation.
+
+    Args:
+        queue_capacity: bound on waiting requests (admission overflow
+            rejects beyond it).
+        slo_p99_s: the p99 latency objective the brownout controller
+            enforces.
+        shed_rate: token-bucket refill in requests per modeled second;
+            ``None`` adapts the refill to the measured service rate (the
+            bucket then tracks capacity instead of a fixed guess).
+        shed_burst: bucket depth in tokens.
+        shed_reserve: fraction of the bucket reserved for higher tiers —
+            ``low`` needs the bucket fuller than ``normal``, which needs it
+            fuller than ``high``, so load sheds bottom-up.
+        shed_utilization: target fraction of measured capacity the
+            adaptive refill admits (only used when ``shed_rate`` is None).
+        breaker_window: sliding window length (page outcomes) per device.
+        breaker_threshold: failure ratio over the window that opens the
+            breaker.
+        breaker_min_samples: outcomes required before the ratio is
+            trusted.
+        breaker_cooldown_s: modeled open time before half-open probing.
+        breaker_probes: consecutive successful probes that close it.
+        device_timeout_s: modeled cost of discovering a dead device the
+            hard way (a read into a dropped device times out); the cost an
+            open breaker short-circuits.
+        hedge_quantile: latency quantile (percent) after which a storage
+            read is hedged.
+        hedge_budget_fraction: cap on hedge amplification — the hedge
+            budget accrues this fraction of every request's base storage
+            time, and a duplicate read spends its own cost from it.
+        hedge_min_samples: storage reads observed before hedging arms.
+        brownout_step_down_after: consecutive SLO-violating evaluations
+            before stepping down a level.
+        brownout_step_up_after: consecutive healthy evaluations before
+            stepping back up.
+        brownout_eval_every: completed requests between controller
+            evaluations.
+        brownout_window: completed requests in the sliding p99 window.
+        admission_safety: multiplier on the predicted queue delay used for
+            deadline-aware early rejection (>1 = conservative).
+    """
+
+    protection: bool = True
+    queue_capacity: int = 64
+    slo_p99_s: float = 0.05
+    shed_rate: float | None = None
+    shed_burst: float = 32.0
+    shed_reserve: float = 0.3
+    shed_utilization: float = 0.95
+    breaker_window: int = 64
+    breaker_threshold: float = 0.5
+    breaker_min_samples: int = 8
+    breaker_cooldown_s: float = 0.05
+    breaker_probes: int = 3
+    device_timeout_s: float = 0.01
+    hedge_quantile: float = 95.0
+    hedge_budget_fraction: float = 0.1
+    hedge_min_samples: int = 32
+    brownout_levels: tuple[BrownoutLevel, ...] = DEFAULT_BROWNOUT_LEVELS
+    brownout_step_down_after: int = 2
+    brownout_step_up_after: int = 4
+    brownout_eval_every: int = 16
+    brownout_window: int = 128
+    admission_safety: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity <= 0:
+            raise ConfigError("queue_capacity must be positive")
+        require_finite(
+            "slo_p99_s", self.slo_p99_s, minimum=0.0, exclusive_minimum=True
+        )
+        if self.shed_rate is not None:
+            require_finite(
+                "shed_rate",
+                self.shed_rate,
+                minimum=0.0,
+                exclusive_minimum=True,
+            )
+        require_finite(
+            "shed_burst", self.shed_burst, minimum=1.0
+        )
+        require_finite(
+            "shed_reserve", self.shed_reserve, minimum=0.0, maximum=1.0
+        )
+        require_finite(
+            "shed_utilization",
+            self.shed_utilization,
+            minimum=0.0,
+            exclusive_minimum=True,
+            maximum=1.0,
+        )
+        if self.breaker_window <= 0:
+            raise ConfigError("breaker_window must be positive")
+        require_finite(
+            "breaker_threshold",
+            self.breaker_threshold,
+            minimum=0.0,
+            exclusive_minimum=True,
+            maximum=1.0,
+        )
+        if self.breaker_min_samples <= 0:
+            raise ConfigError("breaker_min_samples must be positive")
+        require_finite(
+            "breaker_cooldown_s",
+            self.breaker_cooldown_s,
+            minimum=0.0,
+            exclusive_minimum=True,
+        )
+        if self.breaker_probes <= 0:
+            raise ConfigError("breaker_probes must be positive")
+        require_finite(
+            "device_timeout_s",
+            self.device_timeout_s,
+            minimum=0.0,
+            exclusive_minimum=True,
+        )
+        quantile = require_finite(
+            "hedge_quantile", self.hedge_quantile, maximum=100.0
+        )
+        if quantile <= 0.0:
+            raise ConfigError("hedge_quantile must be in (0, 100]")
+        require_finite(
+            "hedge_budget_fraction",
+            self.hedge_budget_fraction,
+            minimum=0.0,
+            maximum=1.0,
+        )
+        if self.hedge_min_samples <= 0:
+            raise ConfigError("hedge_min_samples must be positive")
+        if not self.brownout_levels:
+            raise ConfigError("at least one brownout level is required")
+        if self.brownout_step_down_after <= 0:
+            raise ConfigError("brownout_step_down_after must be positive")
+        if self.brownout_step_up_after <= 0:
+            raise ConfigError("brownout_step_up_after must be positive")
+        if self.brownout_eval_every <= 0:
+            raise ConfigError("brownout_eval_every must be positive")
+        if self.brownout_window <= 0:
+            raise ConfigError("brownout_window must be positive")
+        require_finite(
+            "admission_safety", self.admission_safety, minimum=1.0
+        )

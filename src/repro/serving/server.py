@@ -1,0 +1,680 @@
+"""The modeled-time online inference server over the GIDS storage stack.
+
+One request = one seed node: sample its neighborhood on the GPU, redirect
+hot features to the constant CPU buffer, look the rest up in the BaM GPU
+software cache, fetch the misses from the SSD array with GPU-initiated
+direct storage accesses, then run the forward pass — the training loader's
+sample→fetch→aggregate path driven per-request instead of per-epoch.
+
+Requests arrive open-loop (the :class:`~repro.serving.arrival
+.ArrivalProcess` does not wait for anyone) and queue for the single modeled
+pipeline.  The event loop is discrete and deterministic: arrivals are
+generated in order, and before each arrival is admitted, every queued
+request whose service would start earlier is completed — so the queue state
+any admission decision sees is exactly the state at that modeled instant.
+
+The protection layers (admission control, shedding, per-device breakers,
+hedged reads, brownout) are owned here and all share the same modeled
+clock.  With ``serving.protection`` off, the queue is unbounded and every
+layer is inert — the configuration that shows the textbook latency collapse
+past saturation.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..cache.cpu_buffer import ConstantCPUBuffer
+from ..cache.gpu_cache import GPUSoftwareCache
+from ..config import LoaderConfig, SystemConfig
+from ..errors import CheckpointError, ServingError
+from ..faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultySSDArray,
+    RetryPolicy,
+)
+from ..graph.datasets import ScaledDataset
+from ..graph.pagerank import hot_node_ranking
+from ..sampling.neighbor import NeighborSampler
+from ..sim.counters import TransferCounters
+from ..sim.gpu import GPUModel
+from ..sim.pcie import PCIeLink
+from ..sim.ssd import SSDArray
+from ..storage.feature_store import FeatureStore
+from ..telemetry import Tracer
+from ..telemetry.metrics import Histogram, MetricsRegistry
+from ..utils import as_rng
+from .admission import (
+    ADMIT,
+    REJECT_DEADLINE,
+    REJECT_QUEUE,
+    SHED,
+    AdmissionController,
+)
+from .arrival import ArrivalProcess, Request
+from .breaker import BreakerBoard, HALF_OPEN
+from .brownout import BrownoutController
+from .config import ArrivalConfig, ServingConfig
+from .hedging import HedgePolicy
+from .report import ServingReport, ServingStats
+
+#: Tracer track for per-request serving spans.
+SERVING_TRACK = "serving"
+
+#: Verdict name → ServingStats field.
+_VERDICT_FIELDS = {
+    SHED: "shed",
+    REJECT_QUEUE: "rejected_queue",
+    REJECT_DEADLINE: "rejected_deadline",
+}
+
+
+class InferenceServer:
+    """Online inference over the shared storage stack, in modeled time.
+
+    Args:
+        dataset: the (scaled) graph dataset served.
+        system: hardware configuration (GPU, CPU, PCIe, SSD array).
+        config: GIDS capacity knobs (GPU cache bytes, CPU buffer fraction).
+        arrival: open-loop traffic description.
+        serving: overload-protection configuration.
+        fanouts: full-quality sampling fanouts; brownout levels scale them.
+        hot_nodes: optional precomputed hot-node ranking for the CPU
+            buffer (computed from ``config.hot_node_metric`` otherwise).
+        framework_overhead_s: fixed software cost per served request.
+        seed: RNG seed for sampling and cache eviction (the arrival
+            process and fault injector each keep their own stream).
+        fault_plan: optional fault scenario shared with the training path.
+        retry_policy: overrides the plan's embedded retry policy.
+        tracer: optional telemetry tracer; breaker and brownout
+            transitions become instants, and (at ``request`` detail) each
+            served request records a span on the ``serving`` track.
+        monitor: optional SLO monitor override for the brownout
+            controller.
+    """
+
+    name = "GIDS-serve"
+
+    def __init__(
+        self,
+        dataset: ScaledDataset,
+        system: SystemConfig,
+        config: LoaderConfig | None = None,
+        *,
+        arrival: ArrivalConfig | None = None,
+        serving: ServingConfig | None = None,
+        fanouts: tuple[int, ...] = (10, 5, 5),
+        hot_nodes: np.ndarray | None = None,
+        framework_overhead_s: float = 150e-6,
+        seed: int | np.random.Generator | None = 0,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
+        monitor=None,
+    ) -> None:
+        self.dataset = dataset
+        self.system = system
+        self.config = config if config is not None else LoaderConfig()
+        self.arrival_config = (
+            arrival if arrival is not None else ArrivalConfig()
+        )
+        self.serving = serving if serving is not None else ServingConfig()
+        self.fanouts = tuple(int(f) for f in fanouts)
+        self.framework_overhead_s = float(framework_overhead_s)
+        self.tracer = tracer
+        self._rng = as_rng(seed)
+
+        # --- shared storage stack (mirrors GIDSDataLoader) -------------
+        self.store = FeatureStore(dataset.num_nodes, dataset.feature_dim)
+        self.layout = self.store.layout
+        self.ssd = SSDArray(system.ssd, system.num_ssds)
+        self.pcie = PCIeLink(system.pcie)
+        self.gpu = GPUModel(system.gpu)
+
+        self.fault_plan = fault_plan
+        self.faults: FaultInjector | None = None
+        self.fault_array: FaultySSDArray | None = None
+        if fault_plan is not None and not fault_plan.is_null():
+            self.faults = FaultInjector(fault_plan, retry_policy)
+            self.fault_array = FaultySSDArray(self.ssd, self.faults)
+            if fault_plan.pcie_degradation_factor > 1.0:
+                self.pcie = PCIeLink(
+                    system.pcie,
+                    degradation_factor=fault_plan.pcie_degradation_factor,
+                )
+
+        cache_lines = int(
+            self.config.gpu_cache_bytes // self.layout.page_bytes
+        )
+        self._cache_rng = self._rng.spawn(1)[0]
+        self.cache = GPUSoftwareCache(cache_lines, seed=self._cache_rng)
+        self.cache.tracer = tracer
+        self.cpu_buffer = self._build_cpu_buffer(hot_nodes)
+
+        # One sampler per brownout level (scaled fanouts), sharing the
+        # sampling RNG: the level sequence is deterministic, so the draw
+        # sequence is too.
+        self._samplers = tuple(
+            NeighborSampler(
+                dataset.graph,
+                self._scaled(level.fanout_scale),
+                seed=self._rng,
+            )
+            for level in self.serving.brownout_levels
+        )
+
+        # --- traffic and protection ------------------------------------
+        self.arrivals = ArrivalProcess(
+            self.arrival_config, dataset.num_nodes
+        )
+        self.registry: MetricsRegistry = (
+            tracer.metrics if tracer is not None else MetricsRegistry()
+        )
+        protection = self.serving.protection
+        self.admission = AdmissionController(self.serving)
+        self.breakers = (
+            BreakerBoard(system.num_ssds, self.serving)
+            if protection
+            else None
+        )
+        self.hedge = HedgePolicy(self.serving) if protection else None
+        self.brownout = (
+            BrownoutController(
+                self.serving, self.registry, monitor=monitor, tracer=tracer
+            )
+            if protection
+            else None
+        )
+
+        # --- run state --------------------------------------------------
+        self.stats = ServingStats()
+        self.counters = TransferCounters()
+        self._queue: list[tuple[int, int, dict]] = []  # (priority, idx, req)
+        self._now_s = 0.0
+        self._busy_until_s = 0.0
+        self._busy_s = 0.0
+        self._last_completion_s = 0.0
+        self._latencies: list[float] = []
+        self._latency_priorities: list[int] = []
+        self._deadline_flags: list[bool] = []
+        self._latency_hist = Histogram("serving.latency_s")
+        self._stage_seconds = {
+            "sampling": 0.0,
+            "aggregation": 0.0,
+            "transfer": 0.0,
+            "training": 0.0,
+        }
+        self.degraded_requests = 0
+        self.stale_requests = 0
+        self.stale_pages = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+
+    def _scaled(self, scale: float) -> tuple[int, ...]:
+        return tuple(max(1, int(round(f * scale))) for f in self.fanouts)
+
+    def _build_cpu_buffer(
+        self, hot_nodes: np.ndarray | None
+    ) -> ConstantCPUBuffer | None:
+        fraction = self.config.cpu_buffer_fraction
+        if fraction <= 0:
+            return None
+        if hot_nodes is None:
+            seed_weights = None
+            if self.config.hot_node_metric == "reverse_pagerank":
+                # Same teleport weighting as the training loader, so both
+                # pin the identical hot set.
+                seed_weights = np.zeros(self.dataset.num_nodes)
+                seed_weights[self.dataset.train_ids] = 1.0
+                if seed_weights.sum() == 0:
+                    seed_weights = None
+            hot_nodes = hot_node_ranking(
+                self.dataset.graph,
+                self.config.hot_node_metric,
+                seed_weights=seed_weights,
+                rng=self._rng,
+            )
+        return ConstantCPUBuffer(
+            num_nodes=self.dataset.num_nodes,
+            feature_bytes=self.store.feature_bytes,
+            capacity_bytes=fraction * self.dataset.feature_data_bytes,
+            hot_nodes=np.asarray(hot_nodes, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Event loop
+
+    def serve(self, num_requests: int) -> None:
+        """Generate and process ``num_requests`` arrivals (open loop).
+
+        Completions interleave naturally: before each arrival is decided,
+        queued requests whose service starts earlier are finished.  Call
+        :meth:`drain` afterwards to complete what is still queued.
+        """
+        if num_requests < 0:
+            raise ServingError("num_requests must be non-negative")
+        for _ in range(num_requests):
+            self.step()
+
+    def step(self) -> dict:
+        """Process exactly one arrival; returns its admission verdict."""
+        request = self.arrivals.next_request()
+        # Finish everything that completes before this arrival so the
+        # admission decision sees the true queue at that instant.
+        self._complete_until(request.arrival_s)
+        self._now_s = request.arrival_s
+        priority = request.priority
+        self.stats.count("offered", priority)
+
+        if self.serving.protection:
+            backlog = max(0.0, self._busy_until_s - request.arrival_s)
+            verdict = self.admission.decide(
+                priority,
+                request.arrival_s,
+                request.deadline_s,
+                len(self._queue),
+                backlog,
+            )
+        else:
+            verdict = ADMIT
+
+        if verdict == ADMIT:
+            self.stats.count("admitted", priority)
+            heapq.heappush(
+                self._queue,
+                (priority, request.index, request.to_dict()),
+            )
+        else:
+            self.stats.count(_VERDICT_FIELDS[verdict], priority)
+        self._publish_gauges()
+        return {"request": request.index, "verdict": verdict}
+
+    def drain(self) -> None:
+        """Serve every request still waiting in the queue."""
+        self._complete_until(float("inf"))
+
+    def _complete_until(self, horizon_s: float) -> None:
+        """Serve queued requests whose service starts before ``horizon_s``."""
+        while self._queue:
+            start_s = max(
+                self._busy_until_s, self._queue[0][2]["arrival_s"]
+            )
+            if start_s >= horizon_s:
+                break
+            _, _, entry = heapq.heappop(self._queue)
+            request = Request.from_dict(entry)
+            if self.serving.protection and self._expired(request, start_s):
+                # Dropped at dequeue: its deadline can no longer be met,
+                # so serving it would only delay everyone behind it.
+                self.stats.count("expired", request.priority)
+                continue
+            self._serve_one(request, start_s)
+
+    def _expired(self, request: Request, start_s: float) -> bool:
+        estimate = self.admission.service_estimate_s or 0.0
+        return start_s + estimate > request.deadline_at_s
+
+    def _serve_one(self, request: Request, start_s: float) -> None:
+        service_s = self._service_time(request, start_s)
+        completion_s = start_s + service_s
+        self._busy_until_s = completion_s
+        self._busy_s += service_s
+        self._last_completion_s = completion_s
+        latency = completion_s - request.arrival_s
+        priority = request.priority
+        self.stats.count("completed", priority)
+        met = latency <= request.deadline_s
+        self.stats.count("deadline_met" if met else "deadline_missed",
+                         priority)
+        self._latencies.append(latency)
+        self._latency_priorities.append(priority)
+        self._deadline_flags.append(met)
+        self._latency_hist.observe(latency)
+        self.admission.observe_service(service_s)
+        if self.brownout is not None:
+            self.brownout.level_seconds[self.brownout.level_index] += (
+                service_s
+            )
+            self.brownout.observe(latency, completion_s)
+        if self.tracer is not None:
+            self.tracer.clock_s = max(self.tracer.clock_s, completion_s)
+            if self.tracer.want_request_detail:
+                self.tracer.record(
+                    f"request {request.index}",
+                    SERVING_TRACK,
+                    start_s=start_s,
+                    duration_s=service_s,
+                    priority=priority,
+                    latency_s=latency,
+                    deadline_met=met,
+                )
+        self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # Per-request service model
+
+    def _service_time(self, request: Request, start_s: float) -> float:
+        """Modeled service time of one request on the shared stack."""
+        level_index = 0 if self.brownout is None else self.brownout.level_index
+        level = self.serving.brownout_levels[level_index]
+        if level_index > 0:
+            self.degraded_requests += 1
+        sampler = self._samplers[level_index]
+        batch = sampler.sample(np.asarray([request.node], dtype=np.int64))
+        nodes = batch.input_nodes
+        counters = TransferCounters()
+
+        sampling_s = self.gpu.sampling_time(
+            batch.num_sampled, n_kernels=sampler.num_layers
+        )
+
+        if self.cpu_buffer is not None:
+            buffered = self.cpu_buffer.contains(nodes)
+        else:
+            buffered = np.zeros(len(nodes), dtype=bool)
+        n_buffered = int(buffered.sum())
+        counters.cpu_buffer_requests += n_buffered
+        counters.cpu_buffer_bytes += n_buffered * self.store.feature_bytes
+
+        pages = self.layout.pages_for_nodes(nodes[~buffered])
+        counters.page_faults += len(pages)
+        hit_mask = self.cache.access(pages)
+        n_hits = int(hit_mask.sum())
+        counters.gpu_cache_hits += n_hits
+        counters.gpu_cache_bytes += n_hits * self.layout.page_bytes
+        miss_pages = pages[~hit_mask]
+
+        storage_s = 0.0
+        if level.cache_only:
+            # Degraded to cache-only: misses are answered from stale
+            # approximations instead of storage.  Free of device time, but
+            # accounted — staleness is a quality debt, not a freebie.
+            if len(miss_pages):
+                self.stale_requests += 1
+                self.stale_pages += len(miss_pages)
+        elif len(miss_pages):
+            storage_s = self._storage_time(miss_pages, start_s, counters)
+
+        cpu_path_bytes = (
+            counters.cpu_buffer_bytes + counters.fallback_bytes
+        )
+        ingress_s = self.pcie.ingress_time(
+            counters.storage_bytes, storage_s, cpu_path_bytes
+        )
+        hbm_s = self.gpu.hbm_read_time(counters.gpu_cache_bytes)
+        inference_s = self.gpu.training_time(len(nodes))
+
+        self._stage_seconds["sampling"] += sampling_s
+        self._stage_seconds["aggregation"] += ingress_s + hbm_s
+        self._stage_seconds["training"] += inference_s
+        self.counters.merge(counters)
+        counters.publish(self.registry)
+        return (
+            self.framework_overhead_s
+            + sampling_s
+            + ingress_s
+            + hbm_s
+            + inference_s
+        )
+
+    def _storage_time(
+        self,
+        miss_pages: np.ndarray,
+        start_s: float,
+        counters: TransferCounters,
+    ) -> float:
+        """Latency of the storage fetch, through breakers/faults/hedging."""
+        num_ssds = self.system.num_ssds
+        devices = miss_pages % num_ssds
+        if self.faults is not None:
+            self.fault_array.advance_to(start_s)
+            active, _ = self.faults.device_states(start_s, num_ssds)
+        else:
+            active = np.ones(num_ssds, dtype=bool)
+
+        n_storage = 0
+        n_fallback = 0
+        timeout_s = 0.0
+        for device in np.unique(devices):
+            device = int(device)
+            n_dev = int((devices == device).sum())
+            breaker = (
+                self.breakers[device] if self.breakers is not None else None
+            )
+            if breaker is not None and not breaker.allows_storage(
+                start_s, self.tracer
+            ):
+                # Open breaker: immediate reroute to the CPU mirror.
+                n_fallback += n_dev
+                continue
+            n_probe = n_dev
+            if breaker is not None and breaker.state == HALF_OPEN:
+                # Half-open: only probe traffic touches the device.
+                n_probe = min(n_dev, self.serving.breaker_probes)
+                n_fallback += n_dev - n_probe
+            if not active[device]:
+                # Dead device discovered the hard way: the probe times
+                # out, then falls back.
+                timeout_s += self.serving.device_timeout_s
+                n_fallback += n_probe
+                if breaker is not None:
+                    breaker.record(0, n_probe, start_s, self.tracer)
+            else:
+                n_storage += n_probe
+                if breaker is not None:
+                    breaker.record(n_probe, 0, start_s, self.tracer)
+
+        array = self.fault_array if self.fault_array is not None else self.ssd
+        latency = timeout_s
+        base = 0.0
+        if n_storage:
+            retries = 0
+            backoff_s = 0.0
+            unrecovered = 0
+            spike_extra = 0.0
+            if self.faults is not None:
+                outcome = self.faults.resolve_batch(n_storage)
+                retries = outcome.retries
+                backoff_s = outcome.backoff_s
+                unrecovered = outcome.unrecovered
+                counters.storage_retries += retries
+                counters.injected_faults += outcome.injected_failures
+                if outcome.timed_out:
+                    counters.retry_timeouts += 1
+                n_spiked = self.faults.spike_count(n_storage)
+                if n_spiked:
+                    spike_extra = array.tail_extra_time(n_spiked)
+                    counters.latency_spikes += n_spiked
+            n_served = n_storage - unrecovered
+            n_fallback += unrecovered
+            base = array.batch_service_time(n_served + retries)
+            latency += base + backoff_s + spike_extra
+            counters.storage_requests += n_served
+            counters.storage_bytes += n_served * self.layout.page_bytes
+
+        if self.hedge is not None and n_storage:
+            latency = self.hedge.maybe_hedge(latency, base)
+
+        counters.fallback_requests += n_fallback
+        counters.fallback_bytes += n_fallback * self.layout.page_bytes
+        return latency
+
+    # ------------------------------------------------------------------
+    # Metrics
+
+    def _publish_gauges(self) -> None:
+        registry = self.registry
+        p99 = self._latency_hist.percentile(99)
+        if p99 is not None:
+            registry.gauge("serving.p99").set(p99)
+        registry.gauge("serving.shed_fraction").set(
+            self.stats.shed_fraction
+        )
+        registry.gauge("serving.queue_depth").set(len(self._queue))
+        if self.breakers is not None:
+            registry.gauge("serving.breakers_open").set(
+                self.breakers.open_count
+            )
+        if self.brownout is not None:
+            registry.gauge("serving.brownout_level").set(
+                self.brownout.level_index
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+
+    def report(self) -> ServingReport:
+        """Snapshot the run into a :class:`ServingReport`."""
+        duration = max(self._last_completion_s, self._now_s)
+        hedge = {
+            "issued": self.hedge.issued if self.hedge else 0,
+            "won": self.hedge.won if self.hedge else 0,
+            "budget_spent_s": (
+                self.hedge.budget.spent_s if self.hedge else 0.0
+            ),
+        }
+        levels = self.serving.brownout_levels
+        return ServingReport(
+            stats=self.stats,
+            latencies=list(self._latencies),
+            latency_priorities=list(self._latency_priorities),
+            deadline_flags=list(self._deadline_flags),
+            protection=self.serving.protection,
+            arrival={
+                "shape": self.arrival_config.shape,
+                "rate": self.arrival_config.rate,
+                "seed": self.arrival_config.seed,
+                "deadline_s": self.arrival_config.deadline_s,
+            },
+            slo_p99_s=self.serving.slo_p99_s,
+            duration_s=duration,
+            busy_s=self._busy_s,
+            stage_seconds=dict(self._stage_seconds),
+            counters=self.counters.snapshot(),
+            degraded_requests=self.degraded_requests,
+            stale_requests=self.stale_requests,
+            stale_pages=self.stale_pages,
+            hedge=hedge,
+            breaker_transitions=(
+                self.breakers.transitions() if self.breakers else []
+            ),
+            breaker_open_count=(
+                self.breakers.open_count if self.breakers else 0
+            ),
+            brownout_transitions=(
+                [dict(t) for t in self.brownout.transitions]
+                if self.brownout
+                else []
+            ),
+            brownout_level_seconds=(
+                list(self.brownout.level_seconds)
+                if self.brownout
+                else [0.0] * len(levels)
+            ),
+            brownout_level_names=[level.name for level in levels],
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot every stateful component for bit-identical resume."""
+        state = {
+            "now_s": self._now_s,
+            "busy_until_s": self._busy_until_s,
+            "busy_s": self._busy_s,
+            "last_completion_s": self._last_completion_s,
+            "rng": self._rng.bit_generator.state,
+            "arrivals": self.arrivals.state_dict(),
+            "queue": [entry for _, _, entry in sorted(self._queue)],
+            "stats": self.stats.state_dict(),
+            "admission": self.admission.state_dict(),
+            "cache": self.cache.state_dict(),
+            "counters": self.counters.state_dict(),
+            "latencies": list(self._latencies),
+            "latency_priorities": list(self._latency_priorities),
+            "deadline_flags": [bool(f) for f in self._deadline_flags],
+            "latency_hist": self._latency_hist.state_dict(),
+            "stage_seconds": dict(self._stage_seconds),
+            "degraded_requests": self.degraded_requests,
+            "stale_requests": self.stale_requests,
+            "stale_pages": self.stale_pages,
+            "breakers": (
+                self.breakers.state_dict() if self.breakers else None
+            ),
+            "hedge": self.hedge.state_dict() if self.hedge else None,
+            "brownout": (
+                self.brownout.state_dict() if self.brownout else None
+            ),
+            "faults": self.faults.state_dict() if self.faults else None,
+            "fault_array": (
+                self.fault_array.state_dict() if self.fault_array else None
+            ),
+        }
+        if self.tracer is None:
+            state["registry"] = self.registry.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`."""
+        required = {
+            "now_s", "busy_until_s", "busy_s", "last_completion_s", "rng",
+            "arrivals", "queue", "stats", "admission", "cache", "counters",
+            "latencies", "latency_priorities", "deadline_flags",
+            "latency_hist", "stage_seconds", "degraded_requests",
+            "stale_requests", "stale_pages", "breakers", "hedge",
+            "brownout", "faults", "fault_array",
+        }
+        missing = required - set(state)
+        if missing:
+            raise CheckpointError(
+                f"serving checkpoint is missing fields: {sorted(missing)}"
+            )
+        self._now_s = float(state["now_s"])
+        self._busy_until_s = float(state["busy_until_s"])
+        self._busy_s = float(state["busy_s"])
+        self._last_completion_s = float(state["last_completion_s"])
+        self._rng.bit_generator.state = state["rng"]
+        self.arrivals.load_state_dict(state["arrivals"])
+        self._queue = [
+            (int(e["priority"]), int(e["index"]), dict(e))
+            for e in state["queue"]
+        ]
+        heapq.heapify(self._queue)
+        self.stats.load_state_dict(state["stats"])
+        self.admission.load_state_dict(state["admission"])
+        self.cache.load_state_dict(state["cache"])
+        self.counters = TransferCounters.from_state_dict(state["counters"])
+        self._latencies = [float(v) for v in state["latencies"]]
+        self._latency_priorities = [
+            int(v) for v in state["latency_priorities"]
+        ]
+        self._deadline_flags = [bool(v) for v in state["deadline_flags"]]
+        self._latency_hist.load_state_dict(state["latency_hist"])
+        self._stage_seconds = {
+            k: float(v) for k, v in state["stage_seconds"].items()
+        }
+        self.degraded_requests = int(state["degraded_requests"])
+        self.stale_requests = int(state["stale_requests"])
+        self.stale_pages = int(state["stale_pages"])
+        for attr, key in (
+            (self.breakers, "breakers"),
+            (self.hedge, "hedge"),
+            (self.brownout, "brownout"),
+            (self.faults, "faults"),
+            (self.fault_array, "fault_array"),
+        ):
+            snapshot = state[key]
+            if (attr is None) != (snapshot is None):
+                raise CheckpointError(
+                    f"serving checkpoint {key!r} does not match the "
+                    "server's configuration"
+                )
+            if attr is not None:
+                attr.load_state_dict(snapshot)
+        if self.tracer is None and "registry" in state:
+            self.registry.load_state_dict(state["registry"])

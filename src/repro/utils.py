@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from .errors import ConfigError
@@ -19,6 +21,37 @@ def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def require_finite(
+    name: str,
+    value: float,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
+    exclusive_minimum: bool = False,
+) -> float:
+    """Validate a numeric config field; return it as ``float``.
+
+    Rejects NaN and infinities explicitly — a plain ``value < minimum``
+    comparison silently accepts NaN (every comparison with NaN is false),
+    which is how non-finite timeouts used to slip through config
+    validation.  Raises :class:`~repro.errors.ConfigError` on violation.
+    """
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ConfigError(f"{name} must be finite, got {value}")
+    if minimum is not None:
+        if exclusive_minimum:
+            if value <= minimum:
+                raise ConfigError(f"{name} must be > {minimum}, got {value}")
+        elif value < minimum:
+            raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ConfigError(f"{name} must be <= {maximum}, got {value}")
+    return value
 
 
 def format_bytes(n: float) -> str:

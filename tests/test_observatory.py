@@ -194,11 +194,29 @@ class TestWhatIf:
             "+1 SSD",
             "+CPU buffer",
             "2x window depth",
+            "capacity",
         ]
         plus_one = table[0]
         assert plus_one["predicted_aggregation_seconds"] < 1.0
         assert plus_one["delta_seconds"] < 0
         assert plus_one["delta_fraction"] < 0
+
+    def test_capacity_row_names_bottleneck_and_headroom(self, optane_specs):
+        n = 1_400_000
+        summary = make_summary(
+            storage_requests=n, storage_bytes=n * 4096, aggregation=1.0
+        )
+        row = what_if_table(summary, optane_specs)[-1]
+        assert row["scenario"] == "capacity"
+        assert row["bottleneck"] == "ssd"
+        assert 0.0 < row["utilization"] <= 1.0 + 1e-9
+        # Headroom scales inversely with utilization: max sustainable
+        # req/s is the achieved rate divided by the binding utilization.
+        assert row["max_sustainable_req_s"] == pytest.approx(
+            row["achieved_req_s"] / row["utilization"]
+        )
+        assert row["max_sustainable_req_s"] >= row["achieved_req_s"]
+        assert row["delta_seconds"] == 0.0
 
     def test_empty_table_for_idle_run(self, optane_specs):
         summary = make_summary(aggregation=0.0)
@@ -258,7 +276,7 @@ class TestExportIntegration:
         )
         report = loader.run(8, warmup=2)
         summary = report_to_dict(report, system=system)
-        assert summary["schema_version"] == 6
+        assert summary["schema_version"] == 7
         block = summary["attribution"]
         counters = report.counters
         agg = report.stage_totals.aggregation
