@@ -1,0 +1,132 @@
+"""Elastic-fleet scaling: peer-cache tier vs the shared-SSD baseline.
+
+Runs the :class:`~repro.core.fleet.ElasticFleetTrainer` at 1/2/4 GPUs,
+once with the peer-cache tier enabled and once with every local miss
+paying the contended SSD array (the ``MultiGPUTrainer`` economics), and
+records the scaling curve to ``BENCH_multigpu_scaling.json`` at the repo
+root so the bench trajectory tracks it across commits.
+
+Assertions encode the PR's acceptance criteria:
+
+* the peer-cache tier serves pages that would otherwise be redundant SSD
+  reads (strictly fewer SSD pages at every width >= 2), and
+* 1 -> 4 GPU scaling with peer caches beats the shared-SSD contention
+  baseline.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import get_workload
+from repro.config import INTEL_OPTANE
+from repro.core.fleet import ElasticFleetTrainer, FleetConfig
+
+GPU_COUNTS = (1, 2, 4)
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_multigpu_scaling.json"
+
+
+def _run_fleet(dataset, system, num_gpus, *, peer_cache, fanouts):
+    # Fixed per-worker batch: wider fleets run proportionally fewer
+    # steps each, the classic weak-per-worker / strong-global setup.
+    fleet = FleetConfig(
+        num_gpus=num_gpus,
+        batch_size=8,
+        peer_cache=peer_cache,
+    )
+    trainer = ElasticFleetTrainer(
+        dataset, system, fleet, seed=0, fanouts=fanouts
+    )
+    return trainer.run_epoch()
+
+
+def test_multigpu_scaling_peer_cache_vs_contention(benchmark):
+    workload = get_workload("IGB-tiny", scale=0.05)
+    system = workload.system(INTEL_OPTANE, num_ssds=1)
+    dataset = workload.dataset
+
+    def run():
+        results = {}
+        for n in GPU_COUNTS:
+            peer = _run_fleet(
+                dataset, system, n, peer_cache=True,
+                fanouts=workload.fanouts,
+            )
+            base = _run_fleet(
+                dataset, system, n, peer_cache=False,
+                fanouts=workload.fanouts,
+            )
+            results[n] = (peer, base)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    peer_1 = results[1][0].epoch_time_s
+    base_1 = results[1][1].epoch_time_s
+    rows, records = [], []
+    for n in GPU_COUNTS:
+        peer, base = results[n]
+        peer_speedup = peer_1 / peer.epoch_time_s
+        base_speedup = base_1 / base.epoch_time_s
+        rows.append(
+            [
+                n,
+                f"{peer.epoch_time_s * 1e3:.3f}",
+                f"{base.epoch_time_s * 1e3:.3f}",
+                f"{peer_speedup:.2f}x / {base_speedup:.2f}x",
+                f"{peer.peer_cache_hit_ratio:.1%}",
+                f"{base.total_ssd_pages - peer.total_ssd_pages}",
+            ]
+        )
+        records.append(
+            {
+                "num_gpus": n,
+                "peer_epoch_s": peer.epoch_time_s,
+                "baseline_epoch_s": base.epoch_time_s,
+                "peer_speedup_vs_1gpu": peer_speedup,
+                "baseline_speedup_vs_1gpu": base_speedup,
+                "peer_cache_hit_ratio": peer.peer_cache_hit_ratio,
+                "peer_ssd_pages": peer.total_ssd_pages,
+                "baseline_ssd_pages": base.total_ssd_pages,
+                "global_steps": len(peer.schedule),
+                "final_loss": peer.final_loss,
+            }
+        )
+    print()
+    print(
+        render_table(
+            ["GPUs", "peer ms", "no-peer ms", "speedup (peer/base)",
+             "peer hits", "SSD pages saved"],
+            rows,
+            title="Elastic fleet on one shared Optane SSD",
+        )
+    )
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "multigpu_scaling",
+                "workload": "IGB-tiny@0.05",
+                "ssd": INTEL_OPTANE.name,
+                "num_ssds": 1,
+                "gpu_counts": list(GPU_COUNTS),
+                "results": records,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    for n in (2, 4):
+        peer, base = results[n]
+        # The peer tier removes redundant SSD reads...
+        assert peer.total_ssd_pages < base.total_ssd_pages
+        assert peer.peer_cache_hit_ratio > 0.0
+        # ...and never changes what was trained.
+        assert peer.losses == base.losses
+    # 1 -> 4 scaling with peer caches beats the shared-SSD baseline.
+    peer_4, base_4 = results[4]
+    assert peer_1 / peer_4.epoch_time_s > base_1 / base_4.epoch_time_s
+    # More GPUs still help in absolute terms despite the contention.
+    assert peer_4.epoch_time_s < results[1][0].epoch_time_s

@@ -16,7 +16,7 @@ Commands:
   drives per-request sample→fetch→aggregate through admission control,
   priority load shedding, per-device circuit breakers, hedged reads and
   brownout degradation (``--no-protection`` disables all five layers;
-  ``-o out.json`` writes the schema-v7 serving export).
+  ``-o out.json`` writes the schema-v8 serving export).
 * ``trace`` — render a saved Chrome-trace JSON as an ASCII timeline.
 * ``ssd-model`` — print the Eq. 2-3 bandwidth model for an SSD.
 * ``scrub`` — sweep a workload's feature pages against their digests,
@@ -344,6 +344,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_integrity_args(train)
     _add_alerts_arg(train)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="elastic multi-GPU sharded training in modeled time",
+    )
+    fleet.add_argument("--dataset", default="IGB-tiny")
+    fleet.add_argument("--scale", type=float, default=0.05,
+                       help="dataset shrink factor (default: 0.05)")
+    fleet.add_argument("--ssd", choices=sorted(_SSDS), default="optane")
+    fleet.add_argument("--num-ssds", type=int, default=1)
+    fleet.add_argument("--gpus", type=int, default=4,
+                       help="data-parallel width (default: 4)")
+    fleet.add_argument("--batch-size", type=int, default=32)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--shard-mode", choices=["partition", "hash"], default="partition",
+        help="seed sharding: graph-partition-aware (default) or "
+        "rendezvous hash",
+    )
+    fleet.add_argument(
+        "--no-peer-cache", action="store_true",
+        help="disable the peer-cache tier (every local miss pays the "
+        "shared SSD array: the contention baseline)",
+    )
+    fleet.add_argument(
+        "--fault-plan", metavar="JSON_PATH", default=None,
+        help="FaultPlan JSON; its worker events (gpu:<k> "
+        "dropout/recovery/straggle) drive fleet elasticity, its device "
+        "events degrade the shared SSD array",
+    )
+    fleet.add_argument(
+        "--chaos", action="store_true",
+        help="sweep the chaos scenarios (dropout, straggler, storm...) "
+        "and assert the fleet invariants instead of one epoch",
+    )
+    fleet.add_argument("--format", choices=["table", "json"],
+                       default="table")
+    fleet.add_argument(
+        "-o", "--output", metavar="JSON_PATH", default=None,
+        help="also write the schema-v8 run export (with the fleet block) "
+        "to this file",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="overload-protected online inference in modeled time",
@@ -388,7 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default="table")
     serve.add_argument(
         "-o", "--output", metavar="JSON_PATH", default=None,
-        help="also write the schema-v7 serving export to this file",
+        help="also write the schema-v8 serving export to this file",
     )
     _add_trace_args(serve)
     _add_alerts_arg(serve)
@@ -428,6 +470,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--iterations", type=int, default=None, metavar="N",
         help="planned run length; crash events beyond it are flagged",
+    )
+    validate.add_argument(
+        "--fleet-size", type=int, default=None, metavar="N",
+        help="planned fleet width; worker events targeting gpu:<k> with "
+        "k >= N are flagged",
     )
 
     trace = sub.add_parser(
@@ -937,6 +984,141 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet``: an elastic multi-GPU epoch (or the chaos sweep)."""
+    import json
+
+    from .bench.workloads import get_workload
+    from .core.fleet import (
+        ElasticFleetTrainer,
+        FleetConfig,
+        check_invariants,
+        run_chaos_suite,
+    )
+    from .errors import ReproError
+    from .pipeline.export import report_to_dict
+
+    workload = get_workload(args.dataset, scale=args.scale)
+    system = workload.system(_SSDS[args.ssd], num_ssds=args.num_ssds)
+    dataset = workload.dataset
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = _load_fault_plan(args.fault_plan)
+
+    if args.chaos:
+        if fault_plan is not None:
+            print(
+                "note: --chaos sweeps its own fault plans; --fault-plan "
+                "is ignored",
+                file=sys.stderr,
+            )
+        try:
+            suite = run_chaos_suite(
+                dataset, system, num_gpus=args.gpus, seed=args.seed
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.output is not None:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(suite, fh, indent=2, sort_keys=True)
+        if args.format == "json":
+            print(json.dumps(suite, indent=2, sort_keys=True))
+        else:
+            rows = [
+                [
+                    name,
+                    "pass" if r["passed"] else "FAIL",
+                    r["global_steps"],
+                    r["rebalance_events"],
+                    r["steal_events"],
+                    f"{r['peer_cache_hit_ratio']:.1%}",
+                    "; ".join(r["violations"]) or "-",
+                ]
+                for name, r in suite["scenarios"].items()
+            ]
+            print(
+                render_table(
+                    ["scenario", "verdict", "steps", "rebalances",
+                     "steals", "peer hits", "violations"],
+                    rows,
+                    title=f"chaos sweep: {args.gpus}-GPU fleet on "
+                    f"{args.dataset}",
+                )
+            )
+        if not suite["passed"]:
+            print("error: chaos invariants violated", file=sys.stderr)
+            return 1
+        return 0
+
+    try:
+        fleet_config = FleetConfig(
+            num_gpus=args.gpus,
+            batch_size=args.batch_size,
+            shard_mode=args.shard_mode,
+            peer_cache=not args.no_peer_cache,
+        )
+        trainer = ElasticFleetTrainer(
+            dataset,
+            system,
+            fleet_config,
+            seed=args.seed,
+            fault_plan=fault_plan,
+            fanouts=workload.fanouts,
+        )
+        result = trainer.run_epoch()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    violations = check_invariants(dataset, result)
+    summary = report_to_dict(
+        result.report, system=system, fleet=result.fleet_block()
+    )
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True, allow_nan=False)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True, allow_nan=False))
+    else:
+        rows = [
+            [
+                f"gpu:{w['worker']}",
+                "up" if w["active"] else "down",
+                w["iterations"],
+                w["seeds_trained"],
+                w["cache_hit_pages"],
+                w["peer_hit_pages"],
+                w["ssd_pages"],
+                w["stolen_in"] - w["stolen_out"],
+            ]
+            for w in result.worker_stats
+        ]
+        print(
+            render_table(
+                ["worker", "state", "steps", "seeds", "local hits",
+                 "peer hits", "ssd pages", "net stolen"],
+                rows,
+                title=f"{args.gpus}-GPU fleet on {args.dataset} "
+                f"({_SSDS[args.ssd].name} x{args.num_ssds})",
+            )
+        )
+        print(
+            f"epoch: {len(result.schedule)} global steps, "
+            f"{result.epoch_time_s * 1e3:.2f} modeled ms, final loss "
+            f"{result.final_loss:.4f}, peer-cache hit ratio "
+            f"{result.peer_cache_hit_ratio:.1%}"
+        )
+        if result.rebalance_events:
+            print(f"rebalances: {len(result.rebalance_events)}")
+        if result.steal_events:
+            print(f"steals: {len(result.steal_events)}")
+    for violation in violations:
+        print(f"error: invariant violated: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: an overload-protected online inference run."""
     import json
@@ -1150,6 +1332,35 @@ def _cmd_faults_validate(args: argparse.Namespace) -> int:
                     f"crash event at iteration {event.at_iteration} never "
                     f"fires in a {args.iterations}-iteration run"
                 )
+    if args.fleet_size is not None:
+        if args.fleet_size <= 0:
+            print("error: --fleet-size must be positive", file=sys.stderr)
+            return 2
+        for event in plan.worker_events:
+            if event.worker >= args.fleet_size:
+                problems.append(
+                    f"{event.kind} event targets {event.target} but a "
+                    f"{args.fleet_size}-GPU fleet only has workers "
+                    f"gpu:0..gpu:{args.fleet_size - 1}"
+                )
+        # A dropout with no later recovery strands the shard only if it
+        # empties the whole fleet; flag the unrecoverable full wipe.
+        dropped: set[int] = set()
+        wiped = False
+        for event in sorted(
+            plan.worker_events, key=lambda e: (e.at_time_s, e.worker)
+        ):
+            if event.kind == "dropout":
+                dropped.add(event.worker)
+            elif event.kind == "recovery":
+                dropped.discard(event.worker)
+            if len(dropped) >= args.fleet_size:
+                wiped = True
+        if wiped and dropped and len(dropped) >= args.fleet_size:
+            problems.append(
+                f"the plan drops all {args.fleet_size} workers with no "
+                "recovery: the fleet would stall with batches unassigned"
+            )
 
     rates = [
         ["read_failure_rate", f"{plan.read_failure_rate:g}"],
@@ -1178,6 +1389,20 @@ def _cmd_faults_validate(args: argparse.Namespace) -> int:
         ]
         print(render_table(["device", "events"], rows,
                            title="per-device events"))
+
+    workers: dict[int, list[str]] = {}
+    for event in plan.worker_events:
+        note = f"{event.kind}@{event.at_time_s:g}s"
+        if event.kind == "straggle":
+            note += f" (x{event.factor:g} I/O)"
+        workers.setdefault(event.worker, []).append(note)
+    if workers:
+        rows = [
+            [f"gpu:{worker}", "; ".join(notes)]
+            for worker, notes in sorted(workers.items())
+        ]
+        print(render_table(["worker", "events"], rows,
+                           title="per-worker events"))
 
     for problem in problems:
         print(f"error: {problem}", file=sys.stderr)
@@ -1551,6 +1776,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "scrub":

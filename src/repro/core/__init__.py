@@ -24,8 +24,19 @@ from .multi_gpu import (
     MultiGPUResult,
     MultiGPUTrainer,
     contended_ssd,
+    partition_shards,
     scaling_study,
     shard_train_ids,
+)
+from .fleet import (
+    CHAOS_SCENARIOS,
+    ElasticFleetTrainer,
+    FleetConfig,
+    FleetResult,
+    InterconnectSpec,
+    check_invariants,
+    replay_schedule,
+    run_chaos_suite,
 )
 
 __all__ = [
@@ -42,6 +53,15 @@ __all__ = [
     "MultiGPUResult",
     "MultiGPUTrainer",
     "contended_ssd",
+    "partition_shards",
     "scaling_study",
     "shard_train_ids",
+    "CHAOS_SCENARIOS",
+    "ElasticFleetTrainer",
+    "FleetConfig",
+    "FleetResult",
+    "InterconnectSpec",
+    "check_invariants",
+    "replay_schedule",
+    "run_chaos_suite",
 ]

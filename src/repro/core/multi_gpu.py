@@ -27,19 +27,172 @@ from ..pipeline.metrics import RunReport
 from .gids import GIDSDataLoader
 
 
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer: a high-quality stateless 64-bit mix."""
+    x = (x + np.uint64(0x9E3779B97F4A7C15)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+    x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & np.uint64(
+        0xFFFFFFFFFFFFFFFF
+    )
+    x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & np.uint64(
+        0xFFFFFFFFFFFFFFFF
+    )
+    return x ^ (x >> np.uint64(31))
+
+
+def _rendezvous_weights(
+    train_ids: np.ndarray, num_shards: int, seed: int
+) -> np.ndarray:
+    """Highest-random-weight matrix: ``weights[i, s]`` for id ``i``, shard ``s``.
+
+    Each entry is a pure hash of ``(seed, id, shard)`` — independent of
+    ``num_shards`` — so adding a shard adds a *column* without perturbing
+    any existing entry.  That is the property consistent (rendezvous)
+    hashing is built on.
+    """
+    ids = _splitmix64(
+        train_ids.astype(np.uint64) ^ np.uint64(seed * 0x9E3779B9 + 1)
+    )
+    shards = _splitmix64(
+        np.arange(num_shards, dtype=np.uint64) + np.uint64(seed) * np.uint64(7919)
+    )
+    return _splitmix64(ids[:, None] ^ shards[None, :])
+
+
 def shard_train_ids(
     train_ids: np.ndarray, num_shards: int, *, seed: int = 0
 ) -> list[np.ndarray]:
-    """Split labeled nodes into ``num_shards`` disjoint, balanced shards."""
+    """Split labeled nodes into ``num_shards`` disjoint, balanced shards.
+
+    Assignment is rendezvous (highest-random-weight) hashing followed by a
+    deterministic largest-remainder rebalance, which gives two documented
+    properties:
+
+    * **Balance** — shard sizes differ by at most one, exactly: with
+      ``n = q * num_shards + r`` ids, ``r`` shards hold ``q + 1`` ids and
+      the rest hold ``q``.
+    * **Growth stability** — each id's shard preference is a pure hash of
+      ``(seed, id, shard)``, independent of ``num_shards``; growing the
+      fleet from ``k`` to ``k + 1`` shards therefore reassigns only
+      ``O(n / k)`` ids (those whose best shard becomes the new one, plus
+      rebalance spill), instead of the ``O(n)`` reshuffle a strided or
+      modular split suffers.  An elastic fleet that scales out keeps most
+      of every worker's cache warm.
+
+    The old strided split satisfied balance only incidentally and moved
+    almost every id on any ``num_shards`` change.
+    """
     if num_shards <= 0:
         raise ConfigError("num_shards must be positive")
     train_ids = np.asarray(train_ids, dtype=np.int64)
+    if len(train_ids) != len(np.unique(train_ids)):
+        raise ConfigError("train ids must be unique")
     if len(train_ids) < num_shards:
         raise ConfigError("fewer labeled nodes than shards")
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(len(train_ids))
+
+    n = len(train_ids)
+    weights = _rendezvous_weights(train_ids, num_shards, seed)
+    assignment = np.argmax(weights, axis=1)
+
+    # Largest-remainder capacities: every shard gets n // k, and the r
+    # shards with the largest natural population absorb the remainder —
+    # deterministic (ties broken by shard index) and minimizing moves.
+    base, remainder = divmod(n, num_shards)
+    sizes = np.bincount(assignment, minlength=num_shards)
+    order = np.lexsort((np.arange(num_shards), -sizes))
+    capacity = np.full(num_shards, base, dtype=np.int64)
+    capacity[order[:remainder]] += 1
+
+    # Overfull shards evict their weakest members (smallest rendezvous
+    # weight for that shard); evicted ids re-home to their best shard with
+    # room.  Everything is sorted, so the result is reproducible.
+    evicted: list[int] = []
+    for s in range(num_shards):
+        members = np.flatnonzero(assignment == s)
+        excess = len(members) - capacity[s]
+        if excess > 0:
+            member_weights = weights[members, s]
+            weakest = members[np.argsort(member_weights, kind="stable")][:excess]
+            assignment[weakest] = -1
+            evicted.extend(int(i) for i in weakest)
+
+    if evicted:
+        room = capacity - np.bincount(
+            assignment[assignment >= 0], minlength=num_shards
+        )
+        for i in sorted(evicted):
+            open_shards = np.flatnonzero(room > 0)
+            best = open_shards[np.argmax(weights[i, open_shards])]
+            assignment[i] = best
+            room[best] -= 1
+
     return [
-        np.sort(train_ids[order[s::num_shards]]) for s in range(num_shards)
+        np.sort(train_ids[assignment == s]) for s in range(num_shards)
+    ]
+
+
+def partition_shards(
+    dataset: ScaledDataset,
+    num_shards: int,
+    *,
+    seed: int = 0,
+    refine_passes: int = 2,
+) -> list[np.ndarray]:
+    """Partition-aware seed sharding: co-locate neighboring seeds.
+
+    The graph is partitioned with :func:`~repro.graph.partition.partition_graph`
+    (seeded-BFS growth + boundary refinement) and each training seed goes
+    to the shard of its partition, so the seeds a GPU trains share
+    neighborhoods — which is exactly what makes its private cache and the
+    peer-cache tier effective (LSM-GNN's locality argument).  A final
+    largest-remainder rebalance moves boundary seeds (deterministically,
+    lowest ids first) so shard sizes still differ by at most one.
+    """
+    if num_shards <= 0:
+        raise ConfigError("num_shards must be positive")
+    train_ids = np.asarray(dataset.train_ids, dtype=np.int64)
+    if len(train_ids) < num_shards:
+        raise ConfigError("fewer labeled nodes than shards")
+    if num_shards == 1:
+        return [np.sort(train_ids)]
+    # Local import: graph.partition pulls in CSR machinery the plain
+    # hash-sharding path never needs.
+    from ..graph.partition import partition_graph
+
+    result = partition_graph(
+        dataset.graph,
+        num_shards,
+        refine_passes=refine_passes,
+        seed=seed,
+    )
+    assignment = result.parts[train_ids].copy()
+
+    n = len(train_ids)
+    base, remainder = divmod(n, num_shards)
+    sizes = np.bincount(assignment, minlength=num_shards)
+    order = np.lexsort((np.arange(num_shards), -sizes))
+    capacity = np.full(num_shards, base, dtype=np.int64)
+    capacity[order[:remainder]] += 1
+
+    overflow: list[int] = []
+    for s in range(num_shards):
+        members = np.flatnonzero(assignment == s)
+        excess = len(members) - capacity[s]
+        if excess > 0:
+            # Shed the highest ids: deterministic, and BFS growth assigns
+            # ids in locality order so low ids are the partition core.
+            shed = np.sort(members)[-excess:]
+            assignment[shed] = -1
+            overflow.extend(int(i) for i in shed)
+    if overflow:
+        room = capacity - np.bincount(
+            assignment[assignment >= 0], minlength=num_shards
+        )
+        open_shards = [s for s in range(num_shards) for _ in range(room[s])]
+        for i, s in zip(sorted(overflow), open_shards):
+            assignment[i] = s
+
+    return [
+        np.sort(train_ids[assignment == s]) for s in range(num_shards)
     ]
 
 

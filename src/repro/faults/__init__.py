@@ -21,10 +21,12 @@ from .plan import (
     CORRUPT_PERSISTENT,
     CORRUPT_TORN,
     DEVICE_EVENT_KINDS,
+    WORKER_EVENT_KINDS,
     CorruptionEvent,
     CrashEvent,
     DeviceEvent,
     FaultPlan,
+    WorkerEvent,
 )
 from .retry import Budget, RetryPolicy
 from .injector import BatchFaultOutcome, FaultInjector, FaultStats
@@ -37,6 +39,7 @@ __all__ = [
     "CORRUPT_PERSISTENT",
     "CORRUPT_TORN",
     "DEVICE_EVENT_KINDS",
+    "WORKER_EVENT_KINDS",
     "BatchFaultOutcome",
     "CorruptionEvent",
     "CrashEvent",
@@ -46,4 +49,5 @@ __all__ = [
     "FaultStats",
     "FaultySSDArray",
     "RetryPolicy",
+    "WorkerEvent",
 ]

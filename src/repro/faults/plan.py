@@ -27,6 +27,9 @@ from .retry import RetryPolicy
 #: Recognised whole-device event kinds.
 DEVICE_EVENT_KINDS = ("slowdown", "dropout", "recovery")
 
+#: Recognised worker-scoped (GPU) event kinds.
+WORKER_EVENT_KINDS = ("dropout", "recovery", "straggle")
+
 #: Per-read corruption kind codes, as emitted by
 #: :meth:`~repro.faults.injector.FaultInjector.corruption_kinds` and
 #: interpreted by :class:`~repro.integrity.verifier.ReadVerifier`.
@@ -69,6 +72,74 @@ class DeviceEvent:
             raise ConfigError("event time must be non-negative")
         if self.factor < 1.0:
             raise ConfigError("slowdown factor must be >= 1")
+
+
+def _parse_worker(worker: "int | str") -> int:
+    """Normalize a worker reference (``3`` or ``"gpu:3"``) to an index."""
+    if isinstance(worker, bool):
+        raise ConfigError(f"worker must be an index or 'gpu:<k>', got {worker!r}")
+    if isinstance(worker, int):
+        return worker
+    if isinstance(worker, str):
+        text = worker.strip()
+        if text.startswith("gpu:"):
+            text = text[len("gpu:"):]
+        try:
+            return int(text, 10)
+        except ValueError:
+            pass
+    raise ConfigError(
+        f"worker must be an index or 'gpu:<k>', got {worker!r}"
+    )
+
+
+@dataclass(frozen=True)
+class WorkerEvent:
+    """One GPU-worker state change at a simulated point in time.
+
+    Unlike :class:`DeviceEvent` (which degrades an SSD of the shared
+    array), a worker event targets one GPU of an elastic training fleet
+    (:class:`~repro.core.fleet.ElasticFleetTrainer`).  The storage stack
+    never sees these — a plan holding only worker events is still *null*
+    for a single-GPU loader, mirroring ``crash_events``.
+
+    Args:
+        worker: fleet worker index, either as an integer or as the
+            ``"gpu:<k>"`` string form used by CLI tooling.
+        kind: ``"dropout"`` (the worker vanishes mid-epoch; its remaining
+            shard is re-assigned to survivors), ``"recovery"`` (the worker
+            rejoins with a cold cache and reclaims a fair share of work),
+            or ``"straggle"`` (the worker's local PCIe/SSD path degrades
+            and its I/O runs ``factor`` times slower).
+        at_time_s: simulated time at which the event takes effect.
+        factor: I/O slowdown factor (>= 1) for ``"straggle"`` events.
+    """
+
+    worker: int
+    kind: str
+    at_time_s: float
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "worker", _parse_worker(self.worker))
+        if self.worker < 0:
+            raise ConfigError(
+                f"worker index must be >= 0, got {self.worker}"
+            )
+        if self.kind not in WORKER_EVENT_KINDS:
+            raise ConfigError(
+                f"unknown worker event kind {self.kind!r}; "
+                f"expected one of {WORKER_EVENT_KINDS}"
+            )
+        if self.at_time_s < 0:
+            raise ConfigError("event time must be non-negative")
+        if self.factor < 1.0:
+            raise ConfigError("straggle factor must be >= 1")
+
+    @property
+    def target(self) -> str:
+        """The canonical ``"gpu:<k>"`` spelling of the worker."""
+        return f"gpu:{self.worker}"
 
 
 @dataclass(frozen=True)
@@ -145,7 +216,9 @@ class FaultPlan:
     ``crash_events`` are invisible to the dataloader (a plan containing
     only crashes is still *null* for the storage stack); they are consumed
     by the run supervisor, which kills and restarts the training process at
-    the configured iterations.
+    the configured iterations.  ``worker_events`` are likewise invisible:
+    they target GPU workers of an elastic multi-GPU fleet and are consumed
+    by :class:`~repro.core.fleet.ElasticFleetTrainer`.
     """
 
     seed: int = 0
@@ -158,6 +231,7 @@ class FaultPlan:
     device_events: tuple[DeviceEvent, ...] = ()
     crash_events: tuple[CrashEvent, ...] = ()
     corruption_events: tuple[CorruptionEvent, ...] = ()
+    worker_events: tuple[WorkerEvent, ...] = ()
     pcie_degradation_factor: float = 1.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
@@ -186,6 +260,9 @@ class FaultPlan:
         )
         object.__setattr__(
             self, "corruption_events", tuple(self.corruption_events)
+        )
+        object.__setattr__(
+            self, "worker_events", tuple(self.worker_events)
         )
 
     @property
@@ -231,6 +308,9 @@ class FaultPlan:
         d["corruption_events"] = [
             asdict(e) for e in self.corruption_events
         ]
+        d["worker_events"] = [
+            {**asdict(e), "worker": e.target} for e in self.worker_events
+        ]
         return d
 
     @classmethod
@@ -243,7 +323,7 @@ class FaultPlan:
             "tail_latency_rate", "tail_latency_multiplier",
             "bitflip_rate", "torn_page_rate",
             "device_events", "crash_events", "corruption_events",
-            "pcie_degradation_factor", "retry",
+            "worker_events", "pcie_degradation_factor", "retry",
         }
         unknown = set(data) - known
         if unknown:
@@ -265,6 +345,11 @@ class FaultPlan:
             kwargs["corruption_events"] = tuple(
                 e if isinstance(e, CorruptionEvent) else CorruptionEvent(**e)
                 for e in kwargs["corruption_events"]
+            )
+        if "worker_events" in kwargs:
+            kwargs["worker_events"] = tuple(
+                e if isinstance(e, WorkerEvent) else WorkerEvent(**e)
+                for e in kwargs["worker_events"]
             )
         if "retry" in kwargs and not isinstance(kwargs["retry"], RetryPolicy):
             kwargs["retry"] = RetryPolicy(**kwargs["retry"])

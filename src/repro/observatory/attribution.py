@@ -39,6 +39,16 @@ AGGREGATION_RESOURCES = ("ssd", "pcie", "cpu.buffer", "gpu.hbm")
 #: sensitivity probe at a fixed, documented absorption, not a fit.
 CPU_BUFFER_ABSORPTION = 0.25
 
+#: Fraction of one GPU's storage reads the fleet what-if assumes a peer's
+#: private cache already holds (partition-aware shards make neighboring
+#: seeds land together, so workers share hot neighborhoods).  Like
+#: :data:`CPU_BUFFER_ABSORPTION`, a documented sensitivity constant — the
+#: measured ratio of a real fleet run lives in its ``fleet`` export block.
+PEER_CACHE_ABSORPTION = 0.35
+
+#: Data-parallel widths the fleet what-if rows are computed for.
+FLEET_WHAT_IF_SIZES = (2, 4, 8)
+
 #: Keys every spec block must carry (the export embeds them so a saved
 #: report stays analyzable without the original :class:`SystemConfig`).
 _SPEC_KEYS = (
@@ -317,6 +327,12 @@ def what_if_table(summary: dict, specs: dict) -> list[dict]:
       number that answers "how many req/s before this array saturates?".
       Its predicted times equal the measured run (delta 0) and it carries
       the extra ``max_sustainable_req_s``/``bottleneck`` keys.
+    * ``capacity @{n} GPUs`` — one row per :data:`FLEET_WHAT_IF_SIZES`
+      width: the epoch re-solved for ``n`` data-parallel GPUs sharing the
+      SSD array (work / ``n``, per-GPU IOPS peak / ``n``), plus a
+      peer-cache variant (:data:`PEER_CACHE_ABSORPTION` of storage reads
+      served from peer caches) — the "would another GPU help, or do I
+      need another SSD?" answer.
     """
     validate_summary(summary)
     _validate_specs(specs)
@@ -468,4 +484,75 @@ def what_if_table(summary: dict, specs: dict) -> list[dict]:
             "max_sustainable_req_s": _finite(max_req_s),
         }
     )
+
+    # Per-fleet-size capacity rows: the epoch re-solved with the SSD array
+    # shared by n concurrently aggregating GPUs.  Work divides by n, but
+    # every GPU sees only peak/n IOPS (the shared-array contention model),
+    # so aggregation shrinks sublinearly — the row quantifies exactly how
+    # far from linear.  ``peer_cache_e2e_seconds`` repeats the solve with
+    # PEER_CACHE_ABSORPTION of storage reads served from peer caches over
+    # the interconnect instead of the SSD array.
+    for n in FLEET_WHAT_IF_SIZES:
+        shared = SSDArray(
+            SSDSpec(
+                name=str(specs["ssd"]),
+                read_latency_s=float(specs["ssd_read_latency_s"]),
+                peak_iops=float(specs["ssd_peak_iops"]) / n,
+                page_bytes=page_bytes,
+            ),
+            num_ssds,
+        )
+        ratio_n = (
+            predict(shared, pages, storage_bytes, cpu_bytes) / base_pred
+            if base_pred > 0
+            else 1.0
+        )
+        agg_n = agg_s * ratio_n / n
+        e2e_n = _combine_e2e(
+            (sampling_s + transfer_s) / n + agg_n, train_s / n, overlapped
+        )
+        kept = 1.0 - PEER_CACHE_ABSORPTION
+        peer_ratio_n = (
+            predict(
+                shared,
+                pages * kept,
+                storage_bytes * kept,
+                cpu_bytes,
+            )
+            / base_pred
+            if base_pred > 0
+            else 1.0
+        )
+        peer_agg_n = agg_s * peer_ratio_n / n
+        peer_e2e_n = _combine_e2e(
+            (sampling_s + transfer_s) / n + peer_agg_n,
+            train_s / n,
+            overlapped,
+        )
+        delta = e2e_n - base_e2e
+        table.append(
+            {
+                "scenario": f"capacity @{n} GPUs",
+                "description": (
+                    f"epoch re-solved for {n} data-parallel GPUs sharing "
+                    f"the SSD array (each sees 1/{n} of peak IOPS); "
+                    f"peer-cache variant absorbs "
+                    f"{PEER_CACHE_ABSORPTION:.0%} of storage reads"
+                ),
+                "num_gpus": n,
+                "predicted_aggregation_seconds": _finite(agg_n),
+                "predicted_e2e_seconds": _finite(e2e_n),
+                "delta_seconds": _finite(delta),
+                "delta_fraction": _finite(
+                    delta / base_e2e if base_e2e > 0 else 0.0
+                ),
+                "peer_cache_e2e_seconds": _finite(peer_e2e_n),
+                "speedup_vs_1gpu": _finite(
+                    base_e2e / e2e_n if e2e_n > 0 else None
+                ),
+                "peer_cache_speedup_vs_1gpu": _finite(
+                    base_e2e / peer_e2e_n if peer_e2e_n > 0 else None
+                ),
+            }
+        )
     return table

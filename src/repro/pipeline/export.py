@@ -32,7 +32,11 @@ from .metrics import STAGES, RunReport
 #:     accounting: offered/admitted/shed/rejected counts, latency
 #:     percentiles, breaker and brownout transitions) and the ``capacity``
 #:     row of the attribution what-if table.
-EXPORT_SCHEMA_VERSION = 7
+#: v8: added the optional ``fleet`` block (elastic multi-GPU runs:
+#:     per-worker counters, peer-cache hit ratio, rebalance/steal/worker
+#:     events, breaker transitions) and the per-fleet-size capacity rows
+#:     of the attribution what-if table.
+EXPORT_SCHEMA_VERSION = 8
 
 
 def _finite(value: float) -> float | None:
@@ -57,6 +61,7 @@ def report_to_dict(
     system: "object | None" = None,
     alerts: "dict | None" = None,
     serving: "dict | None" = None,
+    fleet: "dict | None" = None,
 ) -> dict:
     """Flatten a run report into a JSON-serializable summary dict.
 
@@ -82,6 +87,11 @@ def report_to_dict(
         serving: optional ``serving`` block from
             :meth:`~repro.serving.report.ServingReport.to_dict`; ``None``
             (training runs) exports the block as ``None``.
+        fleet: optional ``fleet`` block from
+            :meth:`~repro.core.fleet.FleetResult.fleet_block` (elastic
+            multi-GPU runs: per-worker counters, peer-cache hit ratio,
+            rebalance/steal/worker events, breaker transitions); ``None``
+            (single-GPU runs) exports the block as ``None``.
     """
     # Local import: the observatory analyzes the dicts this module emits,
     # so the reverse dependency stays off the module level.
@@ -139,6 +149,7 @@ def report_to_dict(
         "attribution": None,
         "alerts": alerts,
         "serving": serving,
+        "fleet": fleet,
     }
     if system is not None:
         summary["attribution"] = attribute_summary(
@@ -155,6 +166,7 @@ def report_to_json(
     tracer: "object | None" = None,
     system: "object | None" = None,
     alerts: "dict | None" = None,
+    fleet: "dict | None" = None,
 ) -> str:
     """JSON rendering of :func:`report_to_dict`.
 
@@ -169,6 +181,7 @@ def report_to_json(
             tracer=tracer,
             system=system,
             alerts=alerts,
+            fleet=fleet,
         ),
         indent=indent,
         sort_keys=True,

@@ -1,4 +1,4 @@
-"""Serving-run accounting and the schema-v7 export block.
+"""Serving-run accounting and the versioned run-export block.
 
 :class:`ServingStats` is the front-door ledger — every offered request ends
 in exactly one of ``admitted``/``shed``/``rejected``, per priority tier, and
@@ -8,7 +8,7 @@ dequeue because their deadline could no longer be met — serving them would
 only delay everyone behind them).  :class:`ServingReport`
 adds the latency record of admitted requests (exact, per-request — serving
 percentiles gate SLOs, so bucket-approximate percentiles are not enough) and
-flattens everything into the ``serving`` block of the schema-v7 run export.
+flattens everything into the ``serving`` block of the versioned run export.
 """
 
 from __future__ import annotations
@@ -192,7 +192,7 @@ class ServingReport:
     # Export
 
     def to_dict(self) -> dict:
-        """The ``serving`` block of the schema-v7 run export."""
+        """The ``serving`` block of the versioned run export."""
         if not self.stats.consistent():
             raise ServingError(
                 "serving ledger is inconsistent: "
@@ -240,7 +240,7 @@ class ServingReport:
         }
 
     def export_dict(self, *, tracer=None, system=None, alerts=None) -> dict:
-        """Full schema-v7 run-report document for this serving run.
+        """Full versioned run-report document for this serving run.
 
         Shaped like :func:`repro.pipeline.export.report_to_dict` output —
         same required keys — so ``repro analyze``, ``validate_summary``

@@ -140,13 +140,24 @@ class GraphSAGE:
         logits = h[seed_idx]
         return logits, (caches, seed_idx, h.shape)
 
-    def train_step(
+    def gradients(
         self,
         batch: MiniBatch,
         features: np.ndarray,
         labels: np.ndarray,
-    ) -> float:
-        """One SGD step on softmax cross-entropy; returns the batch loss."""
+    ) -> tuple[float, list[dict]]:
+        """Softmax cross-entropy loss and per-layer parameter gradients.
+
+        Nothing is applied: the caller owns the optimizer step.  This is
+        the building block of data-parallel training — each replica
+        computes its local gradients, an all-reduce averages them (see
+        :func:`average_gradients`), and one :meth:`apply_gradients` call
+        per replica keeps every copy of the model bit-identical.
+
+        Returns:
+            ``(loss, grads)`` where ``grads[i]`` holds the ``w_self``,
+            ``w_neigh`` and ``bias`` gradients of layer ``i``.
+        """
         labels = np.asarray(labels, dtype=np.int64)
         if labels.shape != batch.seeds.shape:
             raise ConfigError("labels must align with the batch's seeds")
@@ -162,6 +173,7 @@ class GraphSAGE:
         dlogits[np.arange(n), labels] -= 1.0
         dlogits /= n
 
+        grads: list[dict] = [{} for _ in range(self.num_layers)]
         d_h = np.zeros(out_shape)
         d_h[seed_idx] = dlogits
         for li in range(self.num_layers - 1, -1, -1):
@@ -181,7 +193,35 @@ class GraphSAGE:
             self._aggregate_backward(
                 d_agg, d_h, h, agg, src_idx, dst_idx, agg_cache
             )
-            self._apply(params, g_self, g_neigh, g_bias)
+            grads[li] = {
+                "w_self": g_self, "w_neigh": g_neigh, "bias": g_bias
+            }
+        return loss, grads
+
+    def apply_gradients(self, grads: list[dict]) -> None:
+        """One momentum-SGD step from per-layer gradients.
+
+        ``train_step`` is exactly ``gradients`` + ``apply_gradients``; the
+        split exists so a fleet can average gradients across replicas
+        before stepping.
+        """
+        if len(grads) != self.num_layers:
+            raise ConfigError(
+                f"got gradients for {len(grads)} layers, model has "
+                f"{self.num_layers}"
+            )
+        for params, g in zip(self.layers, grads):
+            self._apply(params, g["w_self"], g["w_neigh"], g["bias"])
+
+    def train_step(
+        self,
+        batch: MiniBatch,
+        features: np.ndarray,
+        labels: np.ndarray,
+    ) -> float:
+        """One SGD step on softmax cross-entropy; returns the batch loss."""
+        loss, grads = self.gradients(batch, features, labels)
+        self.apply_gradients(grads)
         return loss
 
     # ------------------------------------------------------------------
@@ -318,6 +358,31 @@ class GraphSAGE:
                 setattr(params, name, restored.copy())
         self.lr = float(state.get("lr", self.lr))
         self.momentum = float(state.get("momentum", self.momentum))
+
+
+def average_gradients(grads_list: list[list[dict]]) -> list[dict]:
+    """All-reduce: element-wise mean of per-replica gradient lists.
+
+    The summation order is the order of ``grads_list`` — callers that need
+    bit-identical replays must present replicas in a stable order (the
+    fleet uses ascending worker index).
+    """
+    if not grads_list:
+        raise ConfigError("average_gradients needs at least one replica")
+    num_layers = len(grads_list[0])
+    if any(len(g) != num_layers for g in grads_list):
+        raise ConfigError("replica gradient lists disagree on layer count")
+    scale = 1.0 / len(grads_list)
+    averaged = []
+    for li in range(num_layers):
+        layer = {}
+        for name in ("w_self", "w_neigh", "bias"):
+            total = grads_list[0][li][name].copy()
+            for replica in grads_list[1:]:
+                total += replica[li][name]
+            layer[name] = total * scale
+        averaged.append(layer)
+    return averaged
 
 
 def synthetic_labels(

@@ -195,6 +195,9 @@ class TestWhatIf:
             "+CPU buffer",
             "2x window depth",
             "capacity",
+            "capacity @2 GPUs",
+            "capacity @4 GPUs",
+            "capacity @8 GPUs",
         ]
         plus_one = table[0]
         assert plus_one["predicted_aggregation_seconds"] < 1.0
@@ -206,8 +209,8 @@ class TestWhatIf:
         summary = make_summary(
             storage_requests=n, storage_bytes=n * 4096, aggregation=1.0
         )
-        row = what_if_table(summary, optane_specs)[-1]
-        assert row["scenario"] == "capacity"
+        rows = what_if_table(summary, optane_specs)
+        row = next(r for r in rows if r["scenario"] == "capacity")
         assert row["bottleneck"] == "ssd"
         assert 0.0 < row["utilization"] <= 1.0 + 1e-9
         # Headroom scales inversely with utilization: max sustainable
@@ -276,7 +279,7 @@ class TestExportIntegration:
         )
         report = loader.run(8, warmup=2)
         summary = report_to_dict(report, system=system)
-        assert summary["schema_version"] == 7
+        assert summary["schema_version"] == 8
         block = summary["attribution"]
         counters = report.counters
         agg = report.stage_totals.aggregation
