@@ -386,6 +386,70 @@ def build_parser() -> argparse.ArgumentParser:
         "to this file",
     )
 
+    fullgraph = sub.add_parser(
+        "fullgraph",
+        help="full-graph training as partition sweeps with activation "
+        "offload",
+    )
+    fullgraph.add_argument("--dataset", default="IGB-tiny")
+    fullgraph.add_argument("--scale", type=float, default=0.01,
+                           help="dataset shrink factor (default: 0.01)")
+    fullgraph.add_argument("--ssd", choices=sorted(_SSDS), default="980pro")
+    fullgraph.add_argument("--num-ssds", type=int, default=1)
+    fullgraph.add_argument("--epochs", type=int, default=5,
+                           help="sweep epochs to run (default: 5)")
+    fullgraph.add_argument(
+        "--target-acc", type=float, default=None, metavar="FRAC",
+        help="stop early once eval accuracy reaches FRAC (epochs becomes "
+        "the cap)",
+    )
+    fullgraph.add_argument("--classes", type=int, default=8)
+    fullgraph.add_argument("--hidden-dim", type=int, default=32)
+    fullgraph.add_argument("--layers", type=int, default=2)
+    fullgraph.add_argument(
+        "--aggregator", choices=["mean", "gcn", "pool"], default="mean",
+    )
+    fullgraph.add_argument(
+        "--partitions", type=int, default=None, metavar="P",
+        help="force the partition count instead of letting the memory "
+        "planner choose",
+    )
+    fullgraph.add_argument(
+        "--hbm-mb", type=float, default=None, metavar="MB",
+        help="modeled HBM budget in MiB (default: the GPU spec's full "
+        "memory; small values force the activation-offload regime)",
+    )
+    fullgraph.add_argument(
+        "--no-overlap", action="store_true",
+        help="serialize spill/reload I/O with sweep compute instead of "
+        "overlapping them",
+    )
+    fullgraph.add_argument(
+        "--steps", type=int, default=None, metavar="N",
+        help="run at most N partition steps this invocation (kill/resume "
+        "drills; pair with --checkpoint-dir)",
+    )
+    fullgraph.add_argument(
+        "--fault-plan", metavar="JSON_PATH", default=None,
+        help="inject storage faults from a FaultPlan JSON file; spill "
+        "pages ride the same failure/retry/corruption process as feature "
+        "pages",
+    )
+    _add_checkpoint_args(fullgraph)
+    _add_trace_args(fullgraph)
+    fullgraph.add_argument(
+        "--verify-reads", choices=["off", "sample", "full"], default="off",
+        help="verify reloaded spill pages against their digests: 'off' "
+        "(default), 'sample', or 'full'",
+    )
+    fullgraph.add_argument("--format", choices=["table", "json"],
+                           default="table")
+    fullgraph.add_argument(
+        "-o", "--output", metavar="JSON_PATH", default=None,
+        help="also write the schema-v9 run export (with the fullgraph "
+        "block) to this file",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="overload-protected online inference in modeled time",
@@ -1119,6 +1183,194 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_fullgraph(args: argparse.Namespace) -> int:
+    """``fullgraph``: sweep epochs over partitions with modeled offload."""
+    import json
+
+    from .bench.workloads import get_workload
+    from .checkpoint import CheckpointStore
+    from .errors import ReproError
+    from .fullgraph import FullGraphConfig, FullGraphTrainer
+    from .pipeline.export import report_to_dict
+    from .utils import format_time
+
+    workload = get_workload(args.dataset, scale=args.scale)
+    system = workload.system(_SSDS[args.ssd], num_ssds=args.num_ssds)
+    dataset = workload.dataset
+
+    fault_injector = None
+    if args.fault_plan is not None:
+        from .faults import FaultInjector
+
+        fault_injector = FaultInjector(_load_fault_plan(args.fault_plan))
+    verifier = None
+    if args.verify_reads != "off":
+        from .integrity import CorruptionLedger, ReadVerifier
+
+        verifier = ReadVerifier(
+            CorruptionLedger(num_devices=args.num_ssds),
+            mode=args.verify_reads,
+        )
+
+    tracer = _make_tracer(args)
+    try:
+        config = FullGraphConfig(
+            hidden_dim=args.hidden_dim,
+            num_classes=args.classes,
+            num_layers=args.layers,
+            aggregator=args.aggregator,
+            hbm_budget_bytes=(
+                None if args.hbm_mb is None else args.hbm_mb * 2**20
+            ),
+            num_partitions=args.partitions,
+            io_overlap=not args.no_overlap,
+        )
+        trainer = FullGraphTrainer(
+            dataset,
+            system,
+            config,
+            tracer=tracer,
+            fault_injector=fault_injector,
+            verifier=verifier,
+        )
+
+        store = None
+        if args.checkpoint_dir is not None:
+            store = CheckpointStore(args.checkpoint_dir)
+            if args.resume:
+                loaded = store.load_latest()
+                if loaded is not None:
+                    trainer.load_state_dict(loaded.payload["trainer"])
+                    if tracer is not None and "tracer" in loaded.payload:
+                        tracer.load_state_dict(loaded.payload["tracer"])
+                    print(
+                        f"resumed from step {loaded.iteration} "
+                        f"({loaded.path})",
+                        file=sys.stderr,
+                    )
+            else:
+                stale = store.iterations()
+                if stale:
+                    import os
+
+                    print(
+                        f"note: clearing {len(stale)} old snapshot(s) "
+                        f"from {args.checkpoint_dir} (pass --resume to "
+                        "continue them)",
+                        file=sys.stderr,
+                    )
+                    for iteration in stale:
+                        os.unlink(store.path_for(iteration))
+
+        total_steps = args.epochs * trainer.steps_per_epoch
+        done = (
+            trainer.epochs_completed * trainer.steps_per_epoch
+            + trainer.step_index
+        )
+        budget = max(0, total_steps - done)
+        if args.steps is not None:
+            budget = min(budget, args.steps)
+        every = max(1, args.checkpoint_every)
+        ran = 0
+        while ran < budget:
+            if args.target_acc is not None and (
+                trainer.accuracies
+                and trainer.accuracies[-1] >= args.target_acc
+            ):
+                break
+            chunk = min(every, budget - ran) if store else budget - ran
+            trainer.run_steps(chunk)
+            ran += chunk
+            if store is not None:
+                payload = {"trainer": trainer.state_dict()}
+                if tracer is not None:
+                    payload["tracer"] = tracer.state_dict()
+                store.save(done + ran, payload)
+        result = trainer.result(target_accuracy=args.target_acc)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    summary = report_to_dict(
+        result.report,
+        tracer=tracer,
+        system=system,
+        fullgraph=result.block,
+    )
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True, allow_nan=False)
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True, allow_nan=False))
+        return 0
+
+    block = result.block
+    plan = block["plan"]
+    rows = [
+        [
+            epoch + 1,
+            f"{loss:.4f}",
+            f"{acc:.1%}",
+            format_time(end_s),
+        ]
+        for epoch, (loss, acc, end_s) in enumerate(
+            zip(result.losses, result.accuracies, result.epoch_end_times_s)
+        )
+    ]
+    print(
+        render_table(
+            ["epoch", "loss", "eval acc", "modeled time"],
+            rows,
+            title=f"full-graph sweep on {args.dataset} "
+            f"({_SSDS[args.ssd].name} x{args.num_ssds}, "
+            f"{block['num_partitions']} partitions)",
+        )
+    )
+    residency = (
+        "resident in HBM"
+        if block["activations_resident"]
+        else "spilled to SSD"
+    )
+    traffic = block["traffic"]
+    print(
+        f"plan: {block['num_partitions']} partitions, workspace "
+        f"{plan['workspace_bytes'] / 2**20:.1f} MiB of "
+        f"{plan['hbm_budget_bytes'] / 2**20:.1f} MiB HBM, activations "
+        f"{residency}"
+    )
+    print(
+        f"traffic: {traffic['feature_sequential_bytes'] / 2**20:.1f} MiB "
+        f"features streamed, {traffic['activation_spill_bytes'] / 2**20:.1f}"
+        f" MiB spilled, {traffic['spill_pages']} spill pages"
+    )
+    if trainer.step_index:
+        print(
+            f"stopped mid-epoch at step {trainer.step_index} of "
+            f"{trainer.steps_per_epoch} (resume with --checkpoint-dir "
+            "--resume)"
+        )
+    if result.target_accuracy is not None:
+        if result.time_to_target_s is not None:
+            print(
+                f"reached {result.target_accuracy:.0%} accuracy at modeled "
+                f"{format_time(result.time_to_target_s)}"
+            )
+        else:
+            print(
+                f"did not reach {result.target_accuracy:.0%} accuracy in "
+                f"{result.epochs_completed} epochs"
+            )
+    what_if = block["what_if_2x_hbm"]
+    if what_if.get("speedup") and what_if["speedup"] > 1.0:
+        print(
+            f"what-if 2x HBM: activations become resident, predicted "
+            f"{what_if['speedup']:.2f}x faster epoch"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: an overload-protected online inference run."""
     import json
@@ -1776,6 +2028,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "fullgraph":
+        return _cmd_fullgraph(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
     if args.command == "serve":

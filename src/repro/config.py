@@ -30,12 +30,22 @@ class SSDSpec:
     device-internal parallelism implied by Little's law
     (``peak_iops * read_latency_s``) determines how many requests must be in
     flight before the device saturates.
+
+    ``seq_read_bandwidth`` / ``seq_write_bandwidth`` describe the *large
+    sequential transfer* path (128 KB+ requests streaming through every
+    channel), which on real NVMe devices is far faster than
+    ``peak_iops * 4 KB``.  Mini-batch sampling never sees that path — it is
+    exercised by full-graph partition sweeps and activation spill/reload
+    (``repro.fullgraph``).  ``None`` falls back to the random-read ceiling
+    so specs that predate the field stay valid.
     """
 
     name: str
     read_latency_s: float
     peak_iops: float
     page_bytes: int = PAGE_BYTES
+    seq_read_bandwidth: float | None = None
+    seq_write_bandwidth: float | None = None
 
     def __post_init__(self) -> None:
         if self.read_latency_s <= 0:
@@ -44,11 +54,41 @@ class SSDSpec:
             raise ConfigError(f"{self.name}: peak IOPS must be positive")
         if self.page_bytes <= 0:
             raise ConfigError(f"{self.name}: page size must be positive")
+        if self.seq_read_bandwidth is not None and self.seq_read_bandwidth <= 0:
+            raise ConfigError(
+                f"{self.name}: sequential read bandwidth must be positive"
+            )
+        if self.seq_write_bandwidth is not None and self.seq_write_bandwidth <= 0:
+            raise ConfigError(
+                f"{self.name}: sequential write bandwidth must be positive"
+            )
 
     @property
     def peak_bandwidth(self) -> float:
         """Peak sequential-equivalent read bandwidth in bytes/s."""
         return self.peak_iops * self.page_bytes
+
+    @property
+    def sequential_read_bandwidth(self) -> float:
+        """Large-transfer sequential read bandwidth in bytes/s.
+
+        Falls back to the 4 KB random-read ceiling when the spec does not
+        model a distinct sequential path.
+        """
+        if self.seq_read_bandwidth is not None:
+            return self.seq_read_bandwidth
+        return self.peak_bandwidth
+
+    @property
+    def sequential_write_bandwidth(self) -> float:
+        """Large-transfer sequential write bandwidth in bytes/s.
+
+        Falls back to the sequential *read* bandwidth (and transitively to
+        the random-read ceiling) when unspecified.
+        """
+        if self.seq_write_bandwidth is not None:
+            return self.seq_write_bandwidth
+        return self.sequential_read_bandwidth
 
     @property
     def internal_parallelism(self) -> float:
@@ -136,13 +176,23 @@ class GPUSpec:
 
 
 #: Intel Optane SSD (Section 4.2): 11 us latency, 1.5M IOPS @4 KB (~6 GB/s).
+#: Sequential path from the P5800X datasheet: 7.2 GB/s read, 6.2 GB/s write.
 INTEL_OPTANE = SSDSpec(
-    name="Intel Optane SSD", read_latency_s=11e-6, peak_iops=1.5e6
+    name="Intel Optane SSD",
+    read_latency_s=11e-6,
+    peak_iops=1.5e6,
+    seq_read_bandwidth=7.2e9,
+    seq_write_bandwidth=6.2e9,
 )
 
 #: Samsung 980 Pro (Section 4.2): 324 us latency, 0.7M IOPS @4 KB (~2.8 GB/s).
+#: Sequential path from the datasheet: 7.0 GB/s read, 5.0 GB/s write.
 SAMSUNG_980PRO = SSDSpec(
-    name="Samsung 980 Pro SSD", read_latency_s=324e-6, peak_iops=0.7e6
+    name="Samsung 980 Pro SSD",
+    read_latency_s=324e-6,
+    peak_iops=0.7e6,
+    seq_read_bandwidth=7.0e9,
+    seq_write_bandwidth=5.0e9,
 )
 
 #: A100 + EPYC presets matching Table 1.

@@ -77,6 +77,10 @@ class ServingError(ReproError):
     """The online-serving layer was configured or driven inconsistently."""
 
 
+class FullGraphError(ReproError):
+    """A full-graph sweep (plan, schedule, or trainer state) is invalid."""
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be written, read, or applied to a pipeline."""
 

@@ -1,0 +1,233 @@
+"""Memory planning for full-graph partition sweeps.
+
+Full-graph training hits the GPU *memory wall*: layer activations are
+``num_nodes x hidden`` arrays that, at paper scale, exceed HBM many times
+over (GriNNder's motivating observation).  The planner decides, under a
+modeled HBM budget:
+
+* how many partitions the sweep needs so that one step's *working set*
+  (the partition's input block incl. halo, its output block, the model,
+  and the backward scratch) fits in the budget, and
+* whether the full per-layer activation arrays fit in what remains — if
+  they do, spill/reload are HBM traffic; if not, activations live on SSD
+  and every sweep step pays sequential spill/reload I/O.
+
+Everything is sized analytically from node counts and layer dimensions;
+halo sizes are estimated with a configurable fraction first and then
+checked against the *actual* partition by the trainer, which re-plans at
+a higher partition count when the estimate was too optimistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FullGraphError
+
+#: Input node features are stored as float32 (the dataset layout);
+#: computed activations and gradients are float64 (the NumPy model).
+FEATURE_BYTES = 4
+ACTIVATION_BYTES = 8
+
+#: Partition counts the planner tries, smallest first.
+_CANDIDATE_PARTS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """The planner's verdict for one (graph, model, budget) triple."""
+
+    num_partitions: int
+    hbm_budget_bytes: float
+    #: Peak bytes resident during one sweep step at ``num_partitions``.
+    workspace_bytes: int
+    #: Total bytes of all offloadable activation arrays (h_1..h_L).
+    activation_bytes: int
+    #: Model parameters + momentum buffers.
+    model_bytes: int
+    #: True when activations (and gradient buffers) stay in HBM — spill
+    #: and reload cost HBM reads, not storage I/O.
+    activations_resident: bool
+    #: True when the partition count was forced by the caller.
+    forced: bool
+    #: Halo fraction the workspace estimate assumed.
+    halo_fraction: float
+
+    def to_dict(self) -> dict:
+        return {
+            "num_partitions": self.num_partitions,
+            "hbm_budget_bytes": self.hbm_budget_bytes,
+            "workspace_bytes": self.workspace_bytes,
+            "activation_bytes": self.activation_bytes,
+            "model_bytes": self.model_bytes,
+            "activations_resident": self.activations_resident,
+            "forced": self.forced,
+            "halo_fraction": self.halo_fraction,
+        }
+
+
+class MemoryPlanner:
+    """Sizes partition sweeps against a modeled HBM budget.
+
+    Args:
+        num_nodes: graph size.
+        layer_dims: ``[in_dim, hidden, ..., num_classes]`` — length
+            ``num_layers + 1``.
+        hbm_budget_bytes: modeled HBM available to the sweep.
+        halo_fraction: estimated halo nodes per partition, as a fraction
+            of partition size (checked against reality by the trainer).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        layer_dims: list[int],
+        hbm_budget_bytes: float,
+        *,
+        halo_fraction: float = 0.5,
+    ) -> None:
+        if num_nodes <= 0:
+            raise FullGraphError("num_nodes must be positive")
+        if len(layer_dims) < 2 or min(layer_dims) <= 0:
+            raise FullGraphError("layer_dims must list at least in/out dims")
+        if hbm_budget_bytes <= 0:
+            raise FullGraphError("HBM budget must be positive")
+        if halo_fraction < 0:
+            raise FullGraphError("halo fraction must be non-negative")
+        self.num_nodes = int(num_nodes)
+        self.layer_dims = [int(d) for d in layer_dims]
+        self.hbm_budget_bytes = float(hbm_budget_bytes)
+        self.halo_fraction = float(halo_fraction)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_dims) - 1
+
+    @property
+    def model_bytes(self) -> int:
+        """Weights + momentum buffers (two copies of every parameter)."""
+        total = 0
+        for d_in, d_out in zip(self.layer_dims[:-1], self.layer_dims[1:]):
+            total += (2 * d_in * d_out + d_out) * ACTIVATION_BYTES
+        return 2 * total
+
+    @property
+    def activation_bytes(self) -> int:
+        """All layer-output arrays h_1..h_L (inputs stream from the SSD)."""
+        return sum(
+            self.num_nodes * d * ACTIVATION_BYTES
+            for d in self.layer_dims[1:]
+        )
+
+    @property
+    def grad_buffer_bytes(self) -> int:
+        """Largest pair of adjacent full-graph gradient buffers.
+
+        The backward sweep of layer ``l`` holds d(h_l) while building
+        d(h_{l-1}); both are ``num_nodes``-row arrays.
+        """
+        dims = self.layer_dims
+        best = 0
+        for d_in, d_out in zip(dims[:-1], dims[1:]):
+            best = max(best, (d_in + d_out) * self.num_nodes)
+        return best * ACTIVATION_BYTES
+
+    def _elem_bytes(self, layer: int) -> int:
+        """Bytes per element of layer ``layer``'s *input* representation."""
+        return FEATURE_BYTES if layer == 0 else ACTIVATION_BYTES
+
+    def workspace_bytes(
+        self, num_partitions: int, *, halo_fraction: float | None = None
+    ) -> int:
+        """Peak resident bytes of one sweep step at ``num_partitions``.
+
+        The worst layer dominates: the step holds the partition's input
+        block (members + halo rows of h_{l-1}), its output block, and in
+        backward the matching pair of gradient blocks.
+        """
+        if num_partitions <= 0:
+            raise FullGraphError("num_partitions must be positive")
+        frac = self.halo_fraction if halo_fraction is None else halo_fraction
+        rows = -(-self.num_nodes // num_partitions)  # ceil
+        in_rows = rows + int(rows * frac)
+        peak = 0
+        for li, (d_in, d_out) in enumerate(
+            zip(self.layer_dims[:-1], self.layer_dims[1:])
+        ):
+            fwd = (
+                in_rows * d_in * self._elem_bytes(li)
+                + rows * d_out * ACTIVATION_BYTES
+            )
+            # Backward additionally holds the gradient blocks of both
+            # sides (d_out rows for the partition, d_in rows incl. halo).
+            bwd = fwd + (
+                rows * d_out + in_rows * d_in
+            ) * ACTIVATION_BYTES
+            peak = max(peak, bwd)
+        return peak + self.model_bytes
+
+    def fits(self, num_partitions: int) -> bool:
+        """Whether one sweep step fits the HBM budget at this count."""
+        return (
+            self.workspace_bytes(num_partitions) <= self.hbm_budget_bytes
+        )
+
+    def fits_resident(self, num_partitions: int) -> bool:
+        """Whether the step *plus* all activations and gradient buffers fit."""
+        return (
+            self.workspace_bytes(num_partitions)
+            + self.activation_bytes
+            + self.grad_buffer_bytes
+            <= self.hbm_budget_bytes
+        )
+
+    def plan(self, *, num_partitions: int | None = None) -> MemoryPlan:
+        """Choose a partition count (or validate a forced one).
+
+        Prefers the smallest candidate at which the *whole* activation
+        footprint plus gradient buffers stays resident alongside the
+        working set — residency eliminates every spill/reload, which is
+        worth more than a shorter sweep.  When no candidate achieves
+        residency, falls back to the smallest candidate whose per-step
+        working set alone fits.
+        """
+        forced = num_partitions is not None
+        if forced:
+            if num_partitions <= 0:
+                raise FullGraphError("num_partitions must be positive")
+            chosen = int(num_partitions)
+        else:
+            chosen = None
+            candidates = [
+                c for c in _CANDIDATE_PARTS if c <= self.num_nodes
+            ]
+            for cand in candidates:
+                if self.fits_resident(cand):
+                    chosen = cand
+                    break
+            if chosen is None:
+                for cand in candidates:
+                    if self.fits(cand):
+                        chosen = cand
+                        break
+            if chosen is None:
+                raise FullGraphError(
+                    f"no partition count up to {_CANDIDATE_PARTS[-1]} fits "
+                    f"one sweep step into {self.hbm_budget_bytes:.3g} bytes "
+                    "of HBM; raise the budget or shrink the model"
+                )
+        workspace = self.workspace_bytes(chosen)
+        resident = (
+            workspace + self.activation_bytes + self.grad_buffer_bytes
+            <= self.hbm_budget_bytes
+        )
+        return MemoryPlan(
+            num_partitions=chosen,
+            hbm_budget_bytes=self.hbm_budget_bytes,
+            workspace_bytes=workspace,
+            activation_bytes=self.activation_bytes,
+            model_bytes=self.model_bytes,
+            activations_resident=resident,
+            forced=forced,
+            halo_fraction=self.halo_fraction,
+        )

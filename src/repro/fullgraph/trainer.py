@@ -1,0 +1,948 @@
+"""Full-graph training as sequential partition sweeps with offload.
+
+The workload the source paper never covers: instead of sampling
+mini-batches and issuing random 4K reads, :class:`FullGraphTrainer` runs
+*epochs* — exact full-graph forward/backward passes executed as
+layer-synchronous sweeps over the partitions of a
+:class:`~repro.graph.partition.PartitionResult` (GriNNder's direction).
+Per partition step the trainer
+
+* streams the partition's input block (features at layer 0, spilled
+  activations above) off storage at **sequential** bandwidth,
+* fetches the halo (boundary in-neighbor) rows — the forward half of the
+  halo exchange; at layer 0 these are scattered feature pages priced on
+  the random-read path,
+* computes the block with the shared GraphSAGE layer kernels
+  (:meth:`~repro.training.graphsage.GraphSAGE.layer_forward_block` /
+  ``layer_backward_block``), and
+* spills the output block when the memory plan says activations do not
+  fit HBM — reloaded in reverse order by the backward sweep.
+
+One optimizer step (`apply_gradients`) happens per epoch, on gradients
+summed over all partitions — numerically the exact full-graph gradient.
+Every piece of mutable state implements the ``state_dict`` protocol, so a
+run killed at *any* partition boundary resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import CheckpointError, ConfigError, FullGraphError
+from ..graph.partition import partition_graph
+from ..pipeline.metrics import IterationMetrics, RunReport, StageTimes
+from ..sim.counters import TransferCounters
+from ..sim.gpu import GPUModel
+from ..sim.ssd import SSDArray
+from ..storage.feature_store import FeatureStore
+from ..training.graphsage import (
+    AGGREGATORS,
+    GraphSAGE,
+    softmax_cross_entropy,
+    synthetic_labels,
+)
+from .activations import ActivationStore
+from .planner import (
+    ACTIVATION_BYTES,
+    FEATURE_BYTES,
+    MemoryPlanner,
+    _CANDIDATE_PARTS,
+)
+from .scheduler import PartitionSweepScheduler
+
+#: Loader name the run report carries.
+FULLGRAPH_LOADER_NAME = "GIDS-fullgraph"
+
+#: Telemetry track of whole-step sweep spans.
+FULLGRAPH_TRACK = "fullgraph"
+
+
+@dataclass(frozen=True)
+class FullGraphConfig:
+    """Knobs of a full-graph sweep run."""
+
+    hidden_dim: int = 32
+    num_classes: int = 8
+    num_layers: int = 2
+    aggregator: str = "mean"
+    lr: float = 0.05
+    momentum: float = 0.9
+    #: Modeled HBM available to the sweep; ``None`` derives it from the
+    #: system GPU (callers usually pass a capacity-scaled budget).
+    hbm_budget_bytes: float | None = None
+    #: Force a partition count instead of letting the planner choose.
+    num_partitions: int | None = None
+    #: Planner's halo-size estimate (checked against the real partition).
+    halo_fraction: float = 0.5
+    #: Accuracy is evaluated on the first ``eval_nodes`` train ids — the
+    #: same in-sample synthetic-task convention the mini-batch
+    #: time-to-accuracy benchmark uses, so the two arms are comparable.
+    eval_nodes: int = 200
+    #: Reload/compute overlap (BGL-style prefetching): end-to-end time is
+    #: ``max(prep, compute)`` instead of their sum.
+    io_overlap: bool = True
+    model_seed: int = 4
+    partition_seed: int = 0
+    label_seed: int = 1
+    refine_passes: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.hidden_dim, self.num_classes, self.num_layers) <= 0:
+            raise ConfigError("model dimensions must be positive")
+        if self.aggregator not in AGGREGATORS:
+            raise ConfigError(f"unknown aggregator {self.aggregator!r}")
+        if self.hbm_budget_bytes is not None and self.hbm_budget_bytes <= 0:
+            raise ConfigError("HBM budget must be positive")
+        if self.num_partitions is not None and self.num_partitions <= 0:
+            raise ConfigError("num_partitions must be positive")
+        if self.eval_nodes <= 0:
+            raise ConfigError("eval_nodes must be positive")
+        if self.refine_passes < 0:
+            raise ConfigError("refine passes must be non-negative")
+
+
+@dataclass
+class _Traffic:
+    """Byte/second accumulators per traffic class (see docs/FULLGRAPH.md)."""
+
+    feat_seq_bytes: int = 0
+    feat_seq_s: float = 0.0
+    feat_halo_bytes: int = 0
+    feat_halo_s: float = 0.0
+    act_reload_bytes: int = 0
+    act_reload_s: float = 0.0
+    act_halo_bytes: int = 0
+    act_halo_s: float = 0.0
+    act_spill_bytes: int = 0
+    act_spill_s: float = 0.0
+    compute_s: float = 0.0
+
+    def state_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    def load_state_dict(self, state: dict) -> None:
+        for key in self.__dict__:
+            setattr(
+                self, key, type(getattr(self, key))(state[key])
+            )
+
+
+@dataclass
+class FullGraphResult:
+    """Outcome of a (possibly resumed) full-graph run."""
+
+    report: RunReport
+    epochs_completed: int
+    losses: list[float]
+    accuracies: list[float]
+    epoch_end_times_s: list[float]
+    target_accuracy: float | None
+    time_to_target_s: float | None
+    block: dict = field(default_factory=dict)
+
+    @property
+    def final_loss(self) -> float | None:
+        return self.losses[-1] if self.losses else None
+
+    @property
+    def final_accuracy(self) -> float | None:
+        return self.accuracies[-1] if self.accuracies else None
+
+
+class FullGraphTrainer:
+    """Runs full-graph epochs as partition sweeps under a memory plan.
+
+    Args:
+        dataset: scaled graph replica (structure + feature geometry).
+        system: modeled hardware; storage prices the sweeps.
+        config: sweep/model knobs.
+        tracer: optional telemetry tracer (``sweep``/``halo``/``spill``/
+            ``reload`` spans land on the stage lanes and a ``fullgraph``
+            track).
+        fault_injector: optional
+            :class:`~repro.faults.injector.FaultInjector`; spill pages go
+            through the *same* failure/retry/spike process as feature
+            pages.
+        verifier: optional
+            :class:`~repro.integrity.verifier.ReadVerifier`; reloaded
+            spill pages are verified on read exactly like feature pages
+            (quarantined pages are recomputed, counted as fallbacks).
+    """
+
+    def __init__(
+        self,
+        dataset,
+        system: SystemConfig,
+        config: FullGraphConfig | None = None,
+        *,
+        tracer=None,
+        fault_injector=None,
+        verifier=None,
+    ) -> None:
+        self.dataset = dataset
+        self.system = system
+        self.config = config or FullGraphConfig()
+        self.tracer = tracer
+        self.faults = fault_injector
+        self.verifier = verifier
+        cfg = self.config
+
+        n = dataset.num_nodes
+        if cfg.num_layers > n:
+            raise FullGraphError("more layers than nodes")
+        self.gpu = GPUModel(system.gpu)
+        self.array = SSDArray(spec=system.ssd, num_ssds=system.num_ssds)
+        self.store = FeatureStore(n, dataset.feature_dim)
+
+        self.hbm_budget_bytes = (
+            float(cfg.hbm_budget_bytes)
+            if cfg.hbm_budget_bytes is not None
+            else float(system.gpu.memory_bytes)
+        )
+        self._dims = (
+            [dataset.feature_dim]
+            + [cfg.hidden_dim] * (cfg.num_layers - 1)
+            + [cfg.num_classes]
+        )
+        self.planner = MemoryPlanner(
+            n,
+            self._dims,
+            self.hbm_budget_bytes,
+            halo_fraction=cfg.halo_fraction,
+        )
+        self.plan, self.partition = self._plan_and_partition()
+        self.scheduler = PartitionSweepScheduler(
+            dataset.graph, self.partition, cfg.num_layers
+        )
+        counts = self.scheduler.visitation_counts()
+        if not np.all(counts == 1):
+            raise FullGraphError(
+                "partition sweep would not touch every node exactly once"
+            )
+        self.activations = ActivationStore(
+            n,
+            resident=self.plan.activations_resident,
+            page_bytes=system.ssd.page_bytes,
+        )
+
+        self.model = GraphSAGE(
+            dataset.feature_dim,
+            cfg.hidden_dim,
+            cfg.num_classes,
+            num_layers=cfg.num_layers,
+            aggregator=cfg.aggregator,
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            seed=cfg.model_seed,
+        )
+
+        # Dense float64 copy of the features: the sweep math reads global
+        # rows; the storage *time* is charged separately per block.
+        self._features = self.store.fetch(
+            np.arange(n, dtype=np.int64)
+        ).astype(np.float64)
+        self._labels = synthetic_labels(
+            self.store,
+            np.arange(n, dtype=np.int64),
+            cfg.num_classes,
+            seed=cfg.label_seed,
+        )
+        ids = np.asarray(dataset.train_ids, dtype=np.int64)
+        if not len(ids):
+            raise FullGraphError("dataset has no train ids")
+        self.train_seeds = np.sort(ids)
+        self.eval_ids = ids[: min(cfg.eval_nodes, len(ids))]
+
+        self.report = RunReport(
+            loader_name=FULLGRAPH_LOADER_NAME, overlapped=cfg.io_overlap
+        )
+        self.traffic = _Traffic()
+        self.clock_s = 0.0
+        self.epochs_completed = 0
+        self.step_index = 0  # within-epoch cursor
+        self.losses: list[float] = []
+        self.accuracies: list[float] = []
+        self.epoch_end_times_s: list[float] = []
+        self._spill_page_cursor = 0
+        # Transient sweep state (alive only mid-epoch).
+        self._grads: list[dict] | None = None
+        self._d_cur: np.ndarray | None = None
+        self._d_prev: np.ndarray | None = None
+        self._pending_loss: float | None = None
+        self._pending_accuracy: float | None = None
+
+    # ------------------------------------------------------------------
+    # Planning
+
+    def _plan_and_partition(self):
+        """Plan, partition, then re-plan if the real halo breaks the fit.
+
+        The planner's halo estimate is a guess; the measured partition may
+        have a fatter boundary.  When the actual per-step working set
+        exceeds the budget (and the count was not forced) the next larger
+        candidate count is tried, a bounded number of times.
+        """
+        cfg = self.config
+        plan = self.planner.plan(num_partitions=cfg.num_partitions)
+        for _ in range(4):
+            partition = partition_graph(
+                self.dataset.graph,
+                plan.num_partitions,
+                refine_passes=cfg.refine_passes,
+                seed=cfg.partition_seed,
+            )
+            if plan.forced or self._actual_fits(partition):
+                return plan, partition
+            larger = [
+                c for c in _CANDIDATE_PARTS
+                if c > plan.num_partitions
+                and c <= self.dataset.num_nodes
+                and self.planner.fits(c)
+            ]
+            if not larger:
+                return plan, partition
+            plan = self.planner.plan(num_partitions=larger[0])
+            plan = type(plan)(**{**plan.to_dict(), "forced": False})
+        return plan, partition
+
+    def _actual_fits(self, partition) -> bool:
+        worst = 0.0
+        for p in range(partition.num_parts):
+            rows = int(partition.part_sizes[p])
+            halo = len(partition.halo_nodes(self.dataset.graph, p))
+            frac = halo / rows if rows else 0.0
+            worst = max(worst, frac)
+        actual = self.planner.workspace_bytes(
+            partition.num_parts, halo_fraction=worst
+        )
+        return actual <= self.hbm_budget_bytes
+
+    # ------------------------------------------------------------------
+    # Storage charging helpers
+
+    def _fault_extra(self, n_pages: int, counters: TransferCounters) -> float:
+        """Failure/retry/spike process for one storage batch (like GIDS)."""
+        if self.faults is None or n_pages == 0:
+            return 0.0
+        outcome = self.faults.resolve_batch(n_pages)
+        spikes = self.faults.spike_count(n_pages)
+        counters.injected_faults += outcome.injected_failures
+        counters.storage_retries += outcome.retries
+        counters.latency_spikes += spikes
+        if outcome.timed_out:
+            counters.retry_timeouts += 1
+        if outcome.unrecovered:
+            # Unserved spill pages are *recomputable*: the lost block is
+            # regenerated from the layer below, accounted as fallback.
+            counters.fallback_requests += outcome.unrecovered
+            counters.fallback_bytes += (
+                outcome.unrecovered * self.activations.page_bytes
+            )
+        return (
+            outcome.backoff_s + spikes * self.system.ssd.read_latency_s
+        )
+
+    def _verify_extra(self, n_pages: int, counters: TransferCounters) -> float:
+        """Verify-on-read over reloaded spill pages (like feature pages)."""
+        if self.verifier is None or n_pages == 0:
+            return 0.0
+        pages = (
+            np.arange(n_pages, dtype=np.int64) + self._spill_page_cursor
+        )
+        self._spill_page_cursor += n_pages
+        if self.faults is not None and self.faults.plan.has_corruption:
+            kinds, origins = self.faults.corruption_kinds(
+                pages, self.clock_s, self.system.num_ssds
+            )
+        else:
+            kinds = np.zeros(n_pages, dtype=np.uint8)
+            origins = None
+        outcome = self.verifier.process(
+            pages, kinds, now_s=self.clock_s, origin_times=origins
+        )
+        counters.verified_pages += outcome.verified
+        counters.unverified_pages += outcome.unverified
+        counters.corrupt_detected += outcome.detected
+        counters.corrupt_repaired += outcome.repaired
+        counters.corrupt_quarantined += outcome.quarantined
+        counters.integrity_rereads += outcome.rereads
+        if outcome.quarantined:
+            # Condemned spill pages are recomputed from the layer below.
+            counters.fallback_requests += outcome.quarantined
+            counters.fallback_bytes += (
+                outcome.quarantined * self.activations.page_bytes
+            )
+        return outcome.rereads * self.system.ssd.read_latency_s
+
+    def _seq_read(self, n_bytes: int, counters: TransferCounters) -> float:
+        """Sequential storage read: Eq. 2-3 phases at streaming bandwidth,
+        floored by PCIe ingress, plus fault/integrity costs."""
+        if n_bytes == 0:
+            return 0.0
+        pages = self.activations.pages_for(n_bytes)
+        counters.storage_requests += pages
+        counters.storage_bytes += n_bytes
+        t = max(
+            self.array.sequential_read_time(n_bytes),
+            n_bytes / self.system.pcie.bandwidth_bytes,
+        )
+        t += self._fault_extra(pages, counters)
+        t += self._verify_extra(pages, counters)
+        return t
+
+    def _seq_write(self, n_bytes: int, counters: TransferCounters) -> float:
+        """Sequential spill write (posted; no verify on the write side)."""
+        if n_bytes == 0:
+            return 0.0
+        pages = self.activations.pages_for(n_bytes)
+        counters.storage_requests += pages
+        counters.storage_bytes += n_bytes
+        t = max(
+            self.array.sequential_write_time(n_bytes),
+            n_bytes / self.system.pcie.bandwidth_bytes,
+        )
+        t += self._fault_extra(pages, counters)
+        return t
+
+    def _random_read(self, n_bytes: int, counters: TransferCounters) -> float:
+        """Scattered page reads (layer-0 halo features): random-IOPS path."""
+        if n_bytes == 0:
+            return 0.0
+        pages = self.activations.pages_for(n_bytes)
+        counters.storage_requests += pages
+        counters.storage_bytes += n_bytes
+        t = self.array.batch_service_time(pages)
+        t += self._fault_extra(pages, counters)
+        t += self._verify_extra(pages, counters)
+        return t
+
+    def _hbm(self, n_bytes: int) -> float:
+        return self.gpu.hbm_read_time(n_bytes)
+
+    # ------------------------------------------------------------------
+    # Sweep execution
+
+    @property
+    def steps_per_epoch(self) -> int:
+        return self.scheduler.steps_per_epoch
+
+    def run_steps(self, max_steps: int) -> int:
+        """Advance up to ``max_steps`` partition steps; returns steps run."""
+        if max_steps < 0:
+            raise FullGraphError("max_steps must be non-negative")
+        for done in range(max_steps):
+            self._step()
+        return max_steps
+
+    def run_epochs(self, num_epochs: int) -> FullGraphResult:
+        """Run ``num_epochs`` full sweeps (continuing a partial epoch)."""
+        if num_epochs <= 0:
+            raise FullGraphError("num_epochs must be positive")
+        # Finishing an open partial epoch counts as the first epoch: the
+        # completion bumps ``epochs_completed``, so no cursor adjustment.
+        target_epoch = self.epochs_completed + num_epochs
+        while self.epochs_completed < target_epoch:
+            self._step()
+        return self.result()
+
+    def run_to_accuracy(
+        self, target: float, *, max_epochs: int = 50
+    ) -> FullGraphResult:
+        """Sweep epochs until eval accuracy reaches ``target``."""
+        if not 0.0 < target <= 1.0:
+            raise FullGraphError("target accuracy must be in (0, 1]")
+        if max_epochs <= 0:
+            raise FullGraphError("max_epochs must be positive")
+        while self.epochs_completed < max_epochs and not (
+            self.accuracies and self.accuracies[-1] >= target
+        ):
+            self._step()
+            # Only epoch boundaries can change accuracy; skip mid-epoch
+            # checks by running the epoch out.
+            while self.step_index:
+                self._step()
+        return self.result(target_accuracy=target)
+
+    def _step(self) -> None:
+        """Execute one partition step and advance the cursor."""
+        step = self.scheduler.step(self.step_index)
+        if step.phase == "forward":
+            self._forward_step(step)
+        else:
+            self._backward_step(step)
+        self.step_index += 1
+        if self.step_index == self.steps_per_epoch:
+            self._finish_epoch()
+
+    def _forward_step(self, step) -> None:
+        li, p = step.layer, step.part
+        sched = self.scheduler
+        rows = sched.members(p)
+        halo = sched.halo(p)
+        src, dst = sched.block_edges(p)
+        counters = TransferCounters()
+        d_in, d_out = self._dims[li], self._dims[li + 1]
+
+        if li == 0:
+            h_prev = self._features
+            part_bytes = len(rows) * d_in * FEATURE_BYTES
+            halo_bytes = len(halo) * d_in * FEATURE_BYTES
+            load_s = self._seq_read(part_bytes, counters)
+            halo_s = self._random_read(halo_bytes, counters)
+            self.traffic.feat_seq_bytes += part_bytes
+            self.traffic.feat_seq_s += load_s
+            self.traffic.feat_halo_bytes += halo_bytes
+            self.traffic.feat_halo_s += halo_s
+            reload_s = 0.0
+        else:
+            h_prev = self.activations.array(li - 1)
+            _, row_bytes = self.activations.read_rows(li - 1, rows)
+            _, halo_bytes = self.activations.read_rows(li - 1, halo)
+            if row_bytes:
+                reload_s = self._seq_read(row_bytes, counters)
+                halo_s = self._seq_read(halo_bytes, counters)
+            else:  # resident: HBM reads
+                reload_s = self._hbm(
+                    len(rows) * d_in * ACTIVATION_BYTES
+                )
+                halo_s = self._hbm(len(halo) * d_in * ACTIVATION_BYTES)
+            self.traffic.act_reload_bytes += row_bytes
+            self.traffic.act_reload_s += reload_s
+            self.traffic.act_halo_bytes += halo_bytes
+            self.traffic.act_halo_s += halo_s
+            load_s = 0.0
+
+        if not self.activations.has(li):
+            self.activations.allocate(li, d_out)
+        out = self.model.layer_forward_block(li, h_prev, rows, src, dst)
+        spilled = self.activations.write_rows(li, rows, out)
+        if spilled:
+            spill_s = self._seq_write(spilled, counters)
+        else:
+            spill_s = self._hbm(len(rows) * d_out * ACTIVATION_BYTES)
+        self.traffic.act_spill_bytes += spilled
+        self.traffic.act_spill_s += spill_s
+
+        compute_s = self.gpu.training_time(len(rows) + len(src))
+        self.traffic.compute_s += compute_s
+        times = StageTimes(
+            sampling=0.0,
+            aggregation=load_s + reload_s + spill_s,
+            transfer=halo_s,
+            training=compute_s,
+        )
+        self._record_step(step, times, rows, halo, src, counters)
+
+    def _backward_step(self, step) -> None:
+        li, p = step.layer, step.part
+        sched = self.scheduler
+        rows = sched.members(p)
+        halo = sched.halo(p)
+        src, dst = sched.block_edges(p)
+        counters = TransferCounters()
+        d_in, d_out = self._dims[li], self._dims[li + 1]
+        n = self.dataset.num_nodes
+        last = self.config.num_layers - 1
+
+        if self._d_cur is None:
+            # First backward step of the epoch: loss + logit gradients.
+            logits = self.activations.array(last)
+            loss, dlogits = softmax_cross_entropy(
+                logits[self.train_seeds], self._labels[self.train_seeds]
+            )
+            self._pending_loss = loss
+            pred = np.argmax(logits[self.eval_ids], axis=1)
+            self._pending_accuracy = float(
+                np.mean(pred == self._labels[self.eval_ids])
+            )
+            self._d_cur = np.zeros((n, self._dims[-1]))
+            self._d_cur[self.train_seeds] = dlogits
+            self._grads = self.model.zero_gradients()
+
+        if self._d_prev is None:
+            self._d_prev = np.zeros((n, d_in))
+
+        # Reload this block's inputs (and halo) for recomputed aggregation.
+        if li == 0:
+            h_prev = self._features
+            part_bytes = len(rows) * d_in * FEATURE_BYTES
+            halo_bytes = len(halo) * d_in * FEATURE_BYTES
+            reload_s = self._seq_read(part_bytes, counters)
+            halo_s = self._random_read(halo_bytes, counters)
+            self.traffic.feat_seq_bytes += part_bytes
+            self.traffic.feat_seq_s += reload_s
+            self.traffic.feat_halo_bytes += halo_bytes
+            self.traffic.feat_halo_s += halo_s
+        else:
+            h_prev = self.activations.array(li - 1)
+            _, row_bytes = self.activations.read_rows(li - 1, rows)
+            _, halo_bytes = self.activations.read_rows(li - 1, halo)
+            if row_bytes:
+                reload_s = self._seq_read(row_bytes, counters)
+                halo_s = self._seq_read(halo_bytes, counters)
+            else:
+                reload_s = self._hbm(
+                    len(rows) * d_in * ACTIVATION_BYTES
+                )
+                halo_s = self._hbm(len(halo) * d_in * ACTIVATION_BYTES)
+            self.traffic.act_reload_bytes += row_bytes
+            self.traffic.act_reload_s += reload_s
+            self.traffic.act_halo_bytes += halo_bytes
+            self.traffic.act_halo_s += halo_s
+
+        # Reload the block's own output for the ReLU mask (linear last
+        # layer needs none).
+        h_out_rows = None
+        mask_s = 0.0
+        if li != last:
+            h_out_rows, mask_bytes = self.activations.read_rows(li, rows)
+            if mask_bytes:
+                mask_s = self._seq_read(mask_bytes, counters)
+            else:
+                mask_s = self._hbm(
+                    len(rows) * d_out * ACTIVATION_BYTES
+                )
+            self.traffic.act_reload_bytes += mask_bytes
+            self.traffic.act_reload_s += mask_s
+
+        # Offloaded gradient buffers: read this block's d_out rows, write
+        # back the d_in contributions (partition + halo rows).
+        grad_read = self.activations.charge_scratch(
+            len(rows) * d_out * ACTIVATION_BYTES, read=True
+        )
+        grad_write = self.activations.charge_scratch(
+            (len(rows) + len(halo)) * d_in * ACTIVATION_BYTES, read=False
+        )
+        grad_s = self._seq_read(grad_read, counters) + self._seq_write(
+            grad_write, counters
+        )
+        self.traffic.act_reload_bytes += grad_read
+        self.traffic.act_spill_bytes += grad_write
+        self.traffic.act_spill_s += grad_s
+
+        self.model.layer_backward_block(
+            li,
+            h_prev,
+            h_out_rows,
+            rows,
+            src,
+            dst,
+            self._d_cur[rows],
+            self._d_prev,
+            self._grads[li],
+        )
+
+        compute_s = 2.0 * self.gpu.training_time(len(rows) + len(src))
+        self.traffic.compute_s += compute_s
+        times = StageTimes(
+            sampling=0.0,
+            aggregation=reload_s + mask_s + grad_s,
+            transfer=halo_s,
+            training=compute_s,
+        )
+        self._record_step(step, times, rows, halo, src, counters)
+
+        if p == 0:
+            # Layer finished: rotate gradient buffers, free consumed
+            # activations (layer ``li`` is never read again this epoch).
+            self._d_cur = self._d_prev
+            self._d_prev = None
+            if li != last:
+                self.activations.drop(li)
+
+    def _finish_epoch(self) -> None:
+        self.model.apply_gradients(self._grads)
+        self.losses.append(float(self._pending_loss))
+        self.accuracies.append(float(self._pending_accuracy))
+        self.epoch_end_times_s.append(self.report.e2e_time)
+        self.activations.drop(self.config.num_layers - 1)
+        self._grads = None
+        self._d_cur = None
+        self._d_prev = None
+        self._pending_loss = None
+        self._pending_accuracy = None
+        self.step_index = 0
+        self.epochs_completed += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.instant(
+                "epoch_complete",
+                FULLGRAPH_TRACK,
+                epoch=self.epochs_completed,
+                loss=self.losses[-1],
+                accuracy=self.accuracies[-1],
+            )
+
+    def _record_step(
+        self, step, times, rows, halo, src, counters
+    ) -> None:
+        metrics = IterationMetrics(
+            times=times,
+            num_seeds=len(rows),
+            num_input_nodes=len(rows) + len(halo),
+            num_sampled=len(rows),
+            num_edges=len(src),
+            counters=counters,
+        )
+        self.report.append(metrics)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            t0 = tracer.clock_s
+            tracer.record(
+                "sweep",
+                FULLGRAPH_TRACK,
+                start_s=t0,
+                duration_s=times.total,
+                epoch=self.epochs_completed,
+                phase=step.phase,
+                layer=step.layer,
+                part=step.part,
+            )
+            cursor = t0
+            io_name = "load" if step.layer == 0 else (
+                "reload" if step.phase == "backward" else "spill"
+            )
+            if times.aggregation > 0.0:
+                tracer.record(
+                    io_name,
+                    "stage.aggregation",
+                    start_s=cursor,
+                    duration_s=times.aggregation,
+                    iteration=tracer.iteration,
+                )
+                cursor += times.aggregation
+            if times.transfer > 0.0:
+                tracer.record(
+                    "halo",
+                    "stage.transfer",
+                    start_s=cursor,
+                    duration_s=times.transfer,
+                    iteration=tracer.iteration,
+                )
+                cursor += times.transfer
+            tracer.record(
+                "sweep",
+                "stage.training",
+                start_s=cursor,
+                duration_s=times.training,
+                iteration=tracer.iteration,
+            )
+            tracer.iteration += 1
+            counters.publish(tracer.metrics)
+            tracer.advance(times.total)
+        self.clock_s += times.total
+
+    # ------------------------------------------------------------------
+    # Results / export
+
+    def result(
+        self, *, target_accuracy: float | None = None
+    ) -> FullGraphResult:
+        time_to_target = None
+        if target_accuracy is not None:
+            for t, acc in zip(self.epoch_end_times_s, self.accuracies):
+                if acc >= target_accuracy:
+                    time_to_target = t
+                    break
+        result = FullGraphResult(
+            report=self.report,
+            epochs_completed=self.epochs_completed,
+            losses=list(self.losses),
+            accuracies=list(self.accuracies),
+            epoch_end_times_s=list(self.epoch_end_times_s),
+            target_accuracy=target_accuracy,
+            time_to_target_s=time_to_target,
+        )
+        result.block = self.fullgraph_block(
+            target_accuracy=target_accuracy,
+            time_to_target_s=time_to_target,
+        )
+        return result
+
+    def _what_if_2x_hbm(self) -> dict:
+        """Predicted end-to-end seconds with double the HBM budget.
+
+        Re-plans at 2x budget; when that makes activations resident, all
+        activation spill/reload/halo traffic is re-priced at HBM
+        bandwidth (feature streaming is unchanged — the dataset still
+        lives on SSD).
+        """
+        doubled = MemoryPlanner(
+            self.dataset.num_nodes,
+            self._dims,
+            2.0 * self.hbm_budget_bytes,
+            halo_fraction=self.config.halo_fraction,
+        ).plan()
+        t = self.traffic
+        actual_prep = (
+            t.feat_seq_s
+            + t.feat_halo_s
+            + t.act_reload_s
+            + t.act_halo_s
+            + t.act_spill_s
+        )
+        if doubled.activations_resident and not self.plan.activations_resident:
+            act_bytes = (
+                t.act_reload_bytes + t.act_halo_bytes + t.act_spill_bytes
+            )
+            predicted_prep = (
+                t.feat_seq_s + t.feat_halo_s + self._hbm(act_bytes)
+            )
+        else:
+            predicted_prep = actual_prep
+        if self.config.io_overlap:
+            actual = max(actual_prep, t.compute_s)
+            predicted = max(predicted_prep, t.compute_s)
+        else:
+            actual = actual_prep + t.compute_s
+            predicted = predicted_prep + t.compute_s
+        return {
+            "num_partitions": doubled.num_partitions,
+            "activations_resident": doubled.activations_resident,
+            "predicted_e2e_seconds": predicted,
+            "speedup": (actual / predicted) if predicted > 0 else None,
+        }
+
+    def fullgraph_block(
+        self,
+        *,
+        target_accuracy: float | None = None,
+        time_to_target_s: float | None = None,
+    ) -> dict:
+        """The schema-v9 ``fullgraph`` export block."""
+        t = self.traffic
+        stats = self.scheduler.edge_cut_stats()
+        return {
+            "num_partitions": self.partition.num_parts,
+            "num_layers": self.config.num_layers,
+            "steps_per_epoch": self.steps_per_epoch,
+            "epochs_completed": self.epochs_completed,
+            "hbm_budget_bytes": self.hbm_budget_bytes,
+            "activations_resident": self.plan.activations_resident,
+            "plan": self.plan.to_dict(),
+            "partition": {
+                "balance": self.partition.balance,
+                "edge_cut_total": int(
+                    sum(s["cut_in_edges"] for s in stats)
+                ),
+                "halo_nodes_total": int(
+                    sum(s["halo_nodes"] for s in stats)
+                ),
+                "per_part": stats,
+            },
+            "traffic": {
+                "feature_sequential_bytes": t.feat_seq_bytes,
+                "feature_sequential_s": t.feat_seq_s,
+                "feature_halo_bytes": t.feat_halo_bytes,
+                "feature_halo_s": t.feat_halo_s,
+                "activation_reload_bytes": t.act_reload_bytes,
+                "activation_reload_s": t.act_reload_s,
+                "activation_halo_bytes": t.act_halo_bytes,
+                "activation_halo_s": t.act_halo_s,
+                "activation_spill_bytes": t.act_spill_bytes,
+                "activation_spill_s": t.act_spill_s,
+                "compute_s": t.compute_s,
+                "spill_pages": self.activations.spill_pages,
+                "reload_pages": self.activations.reload_pages,
+            },
+            "sequential": {
+                "read_bandwidth": self.array.seq_read_bandwidth,
+                "write_bandwidth": self.array.seq_write_bandwidth,
+            },
+            "epoch_losses": list(self.losses),
+            "epoch_accuracies": list(self.accuracies),
+            "epoch_end_times_s": list(self.epoch_end_times_s),
+            "target_accuracy": target_accuracy,
+            "time_to_target_s": time_to_target_s,
+            "what_if_2x_hbm": self._what_if_2x_hbm(),
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def state_dict(self) -> dict:
+        """Snapshot everything needed for bit-identical resume."""
+        state = {
+            "loader": FULLGRAPH_LOADER_NAME,
+            "model": self.model.state_dict(),
+            "activations": self.activations.state_dict(),
+            "report": self.report.state_dict(),
+            "traffic": self.traffic.state_dict(),
+            "clock_s": self.clock_s,
+            "epochs_completed": self.epochs_completed,
+            "step_index": self.step_index,
+            "losses": list(self.losses),
+            "accuracies": list(self.accuracies),
+            "epoch_end_times_s": list(self.epoch_end_times_s),
+            "spill_page_cursor": self._spill_page_cursor,
+            "grads": (
+                None
+                if self._grads is None
+                else [
+                    {k: v.copy() for k, v in g.items()}
+                    for g in self._grads
+                ]
+            ),
+            "d_cur": None if self._d_cur is None else self._d_cur.copy(),
+            "d_prev": (
+                None if self._d_prev is None else self._d_prev.copy()
+            ),
+            "pending_loss": self._pending_loss,
+            "pending_accuracy": self._pending_accuracy,
+        }
+        if self.faults is not None:
+            state["faults"] = self.faults.state_dict()
+        if self.verifier is not None:
+            state["verifier"] = self.verifier.state_dict()
+            state["ledger"] = self.verifier.ledger.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("loader") != FULLGRAPH_LOADER_NAME:
+            raise CheckpointError(
+                "snapshot does not come from a full-graph run"
+            )
+        self.model.load_state_dict(state["model"])
+        self.activations.load_state_dict(state["activations"])
+        self.report = RunReport.from_state_dict(state["report"])
+        self.traffic.load_state_dict(state["traffic"])
+        self.clock_s = float(state["clock_s"])
+        self.epochs_completed = int(state["epochs_completed"])
+        self.step_index = int(state["step_index"])
+        self.losses = [float(x) for x in state["losses"]]
+        self.accuracies = [float(x) for x in state["accuracies"]]
+        self.epoch_end_times_s = [
+            float(x) for x in state["epoch_end_times_s"]
+        ]
+        self._spill_page_cursor = int(state["spill_page_cursor"])
+        grads = state["grads"]
+        self._grads = (
+            None
+            if grads is None
+            else [
+                {
+                    k: np.asarray(v, dtype=np.float64).copy()
+                    for k, v in g.items()
+                }
+                for g in grads
+            ]
+        )
+        d_cur = state["d_cur"]
+        self._d_cur = (
+            None if d_cur is None else np.asarray(d_cur, np.float64).copy()
+        )
+        d_prev = state["d_prev"]
+        self._d_prev = (
+            None
+            if d_prev is None
+            else np.asarray(d_prev, np.float64).copy()
+        )
+        self._pending_loss = state["pending_loss"]
+        self._pending_accuracy = state["pending_accuracy"]
+        if self.faults is not None and "faults" in state:
+            self.faults.load_state_dict(state["faults"])
+        if self.verifier is not None and "verifier" in state:
+            self.verifier.load_state_dict(state["verifier"])
+            self.verifier.ledger.load_state_dict(state["ledger"])

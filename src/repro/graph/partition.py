@@ -55,6 +55,73 @@ class PartitionResult:
             raise GraphError(f"part {part} out of range")
         return np.flatnonzero(self.parts == part).astype(np.int64)
 
+    def halo_nodes(self, graph: CSRGraph, part: int) -> np.ndarray:
+        """Boundary in-neighbors of ``part``: the halo a sweep must fetch.
+
+        Sorted unique node ids that live *outside* ``part`` but feed at
+        least one in-edge into it.  A partition-sweep step computing
+        ``part`` needs the previous layer's values for exactly
+        ``members(part) + halo_nodes(part)``.
+        """
+        return halo_nodes(graph, self, part)
+
+    def edge_cut_stats(self, graph: CSRGraph) -> list[dict]:
+        """Per-partition edge-cut/halo accounting (one dict per part).
+
+        Keys: ``part``, ``nodes``, ``internal_edges`` (both endpoints
+        inside), ``cut_in_edges`` (src outside, dst inside — the halo
+        traffic the sweep pays), ``cut_out_edges`` (src inside, dst
+        outside), ``halo_nodes`` (unique outside in-neighbors).
+        """
+        if len(self.parts) != graph.num_nodes:
+            raise GraphError("partition does not cover this graph")
+        num_parts = self.num_parts
+        src = graph.indices
+        dst = np.repeat(
+            np.arange(graph.num_nodes, dtype=np.int64), graph.degrees
+        )
+        sp = self.parts[src]
+        dp = self.parts[dst]
+        cut = sp != dp
+        internal = np.bincount(dp[~cut], minlength=num_parts)
+        cut_in = np.bincount(dp[cut], minlength=num_parts)
+        cut_out = np.bincount(sp[cut], minlength=num_parts)
+        # Unique (src node, destination part) pairs over cut edges — the
+        # same source node feeding several parts counts once per part.
+        pairs = np.unique(src[cut] * np.int64(num_parts) + dp[cut])
+        halo = np.bincount(
+            (pairs % num_parts).astype(np.int64), minlength=num_parts
+        )
+        sizes = self.part_sizes
+        return [
+            {
+                "part": p,
+                "nodes": int(sizes[p]),
+                "internal_edges": int(internal[p]),
+                "cut_in_edges": int(cut_in[p]),
+                "cut_out_edges": int(cut_out[p]),
+                "halo_nodes": int(halo[p]),
+            }
+            for p in range(num_parts)
+        ]
+
+
+def halo_nodes(
+    graph: CSRGraph, partition: PartitionResult, part: int
+) -> np.ndarray:
+    """Sorted unique in-neighbors of ``part`` assigned to other parts."""
+    if len(partition.parts) != graph.num_nodes:
+        raise GraphError("partition does not cover this graph")
+    if not 0 <= part < partition.num_parts:
+        raise GraphError(f"part {part} out of range")
+    dst = np.repeat(
+        np.arange(graph.num_nodes, dtype=np.int64), graph.degrees
+    )
+    sel = partition.parts[dst] == part
+    srcs = graph.indices[sel]
+    outside = srcs[partition.parts[srcs] != part]
+    return np.unique(outside).astype(np.int64)
+
 
 def edge_cut(graph: CSRGraph, parts: np.ndarray) -> int:
     """Number of edges whose endpoints live in different parts."""

@@ -266,6 +266,29 @@ def _verdict(
             f"(prep {prep_s:.4g}s <= training {train_s:.4g}s); faster "
             "storage would not shorten the epoch",
         )
+    fullgraph = summary.get("fullgraph")
+    if fullgraph and not (train_s >= prep_s and train_s > 0.0):
+        # Partition-sweep runs stream features and spilled activations on
+        # the sequential path; when that streaming dominates compute the
+        # roofline answer is bandwidth (or HBM), not random IOPS — and it
+        # outranks the generic stage dispatch, because halo gathers and
+        # sequential streams are one data path in the sweep.
+        traffic = fullgraph.get("traffic") or {}
+        seq_s = (
+            float(traffic.get("feature_sequential_s") or 0.0)
+            + float(traffic.get("activation_reload_s") or 0.0)
+            + float(traffic.get("activation_halo_s") or 0.0)
+            + float(traffic.get("activation_spill_s") or 0.0)
+        )
+        compute_s = float(traffic.get("compute_s") or 0.0)
+        if seq_s >= compute_s:
+            return (
+                "ssd.sequential",
+                "sequential-read-bound: partition sweeps spend "
+                f"{seq_s:.4g}s streaming features and spilled activations "
+                f"vs {compute_s:.4g}s of sweep compute; more HBM (fewer "
+                "spills) or faster sequential bandwidth shortens the epoch",
+            )
     if not overlapped and train_s >= prep_s and train_s > 0.0:
         dominant_stage = "training"
     else:
@@ -433,6 +456,41 @@ def what_if_table(summary: dict, specs: dict) -> list[dict]:
                 ),
             }
         )
+
+    # Full-graph sweep runs carry their own memory-wall lever: the trainer
+    # re-plans the sweep at double the HBM budget and re-prices activation
+    # spill/reload at HBM bandwidth when the doubled budget makes them
+    # resident.  The row surfaces that prediction next to the paper's
+    # balancing levers.
+    fullgraph = summary.get("fullgraph")
+    if fullgraph:
+        what_if_hbm = fullgraph.get("what_if_2x_hbm") or {}
+        pred_e2e = what_if_hbm.get("predicted_e2e_seconds")
+        if pred_e2e is not None:
+            resident = bool(what_if_hbm.get("activations_resident"))
+            delta = float(pred_e2e) - base_e2e
+            table.append(
+                {
+                    "scenario": "2x HBM",
+                    "description": (
+                        "double the modeled HBM budget; "
+                        + (
+                            "activations become resident (spill/reload "
+                            "repriced at HBM bandwidth)"
+                            if resident
+                            else "activations still spill, epoch unchanged"
+                        )
+                    ),
+                    "predicted_aggregation_seconds": None,
+                    "predicted_e2e_seconds": _finite(float(pred_e2e)),
+                    "delta_seconds": _finite(delta),
+                    "delta_fraction": _finite(
+                        delta / base_e2e if base_e2e > 0 else 0.0
+                    ),
+                    "activations_resident": resident,
+                    "speedup": _finite(what_if_hbm.get("speedup")),
+                }
+            )
 
     # Capacity headroom at the binding aggregation resource: how far the
     # achieved request rate could scale before the busiest resource hits

@@ -36,7 +36,11 @@ from .metrics import STAGES, RunReport
 #:     per-worker counters, peer-cache hit ratio, rebalance/steal/worker
 #:     events, breaker transitions) and the per-fleet-size capacity rows
 #:     of the attribution what-if table.
-EXPORT_SCHEMA_VERSION = 8
+#: v9: added the optional ``fullgraph`` block (``repro fullgraph`` runs:
+#:     memory plan, partition edge-cut stats, per-class spill/reload
+#:     traffic, epoch loss/accuracy trajectories, 2x-HBM what-if) and the
+#:     ``2x HBM`` row of the attribution what-if table for such runs.
+EXPORT_SCHEMA_VERSION = 9
 
 
 def _finite(value: float) -> float | None:
@@ -62,6 +66,7 @@ def report_to_dict(
     alerts: "dict | None" = None,
     serving: "dict | None" = None,
     fleet: "dict | None" = None,
+    fullgraph: "dict | None" = None,
 ) -> dict:
     """Flatten a run report into a JSON-serializable summary dict.
 
@@ -92,6 +97,11 @@ def report_to_dict(
             multi-GPU runs: per-worker counters, peer-cache hit ratio,
             rebalance/steal/worker events, breaker transitions); ``None``
             (single-GPU runs) exports the block as ``None``.
+        fullgraph: optional ``fullgraph`` block from
+            :meth:`~repro.fullgraph.FullGraphTrainer.fullgraph_block`
+            (partition-sweep runs: memory plan, edge-cut stats,
+            spill/reload traffic, epoch trajectories, 2x-HBM what-if);
+            ``None`` (mini-batch runs) exports the block as ``None``.
     """
     # Local import: the observatory analyzes the dicts this module emits,
     # so the reverse dependency stays off the module level.
@@ -150,6 +160,7 @@ def report_to_dict(
         "alerts": alerts,
         "serving": serving,
         "fleet": fleet,
+        "fullgraph": fullgraph,
     }
     if system is not None:
         summary["attribution"] = attribute_summary(
@@ -167,6 +178,7 @@ def report_to_json(
     system: "object | None" = None,
     alerts: "dict | None" = None,
     fleet: "dict | None" = None,
+    fullgraph: "dict | None" = None,
 ) -> str:
     """JSON rendering of :func:`report_to_dict`.
 
@@ -182,6 +194,7 @@ def report_to_json(
             system=system,
             alerts=alerts,
             fleet=fleet,
+            fullgraph=fullgraph,
         ),
         indent=indent,
         sort_keys=True,

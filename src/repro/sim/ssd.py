@@ -82,6 +82,55 @@ class SSDArray:
         t_steady = n_requests / self.peak_iops
         return self.t_init_s + t_steady + self.t_term_s
 
+    @property
+    def seq_read_bandwidth(self) -> float:
+        """Collective large-transfer sequential read bandwidth, bytes/s.
+
+        Distinct from :attr:`peak_bandwidth` (the 4 KB random-read
+        ceiling): sequential sweeps stream 128 KB+ requests through every
+        channel, which real devices serve several times faster.  Falls
+        back to the random ceiling for specs without a sequential path.
+        """
+        return self.spec.sequential_read_bandwidth * self.num_ssds
+
+    @property
+    def seq_write_bandwidth(self) -> float:
+        """Collective large-transfer sequential write bandwidth, bytes/s."""
+        return self.spec.sequential_write_bandwidth * self.num_ssds
+
+    def sequential_read_time(self, n_bytes: float) -> float:
+        """Time to stream ``n_bytes`` sequentially off the array.
+
+        Same three-phase shape as :meth:`batch_service_time` — one initial
+        phase (kernel launch + first completion), a steady state at the
+        *sequential* bandwidth instead of the random-read IOPS ceiling,
+        and a termination phase.  Used by full-graph partition sweeps and
+        activation reloads; mini-batch loaders never take this path.
+        """
+        if n_bytes < 0:
+            raise ConfigError(f"n_bytes must be non-negative, got {n_bytes}")
+        if n_bytes == 0:
+            return 0.0
+        return self.t_init_s + n_bytes / self.seq_read_bandwidth + self.t_term_s
+
+    def sequential_write_time(self, n_bytes: float) -> float:
+        """Time to stream ``n_bytes`` sequentially onto the array.
+
+        Write counterpart of :meth:`sequential_read_time` (activation
+        spill during the forward sweep).  Writes are posted, so the
+        initial phase is just the software overhead — no first-completion
+        read latency.
+        """
+        if n_bytes < 0:
+            raise ConfigError(f"n_bytes must be non-negative, got {n_bytes}")
+        if n_bytes == 0:
+            return 0.0
+        return (
+            self.t_init_extra_s
+            + n_bytes / self.seq_write_bandwidth
+            + self.t_term_s
+        )
+
     def achieved_iops(self, n_overlapping: float) -> float:
         """Collective IOPS achieved with ``n_overlapping`` accesses per kernel.
 

@@ -164,14 +164,7 @@ class GraphSAGE:
         logits, (caches, seed_idx, out_shape) = self._forward_cached(
             batch, features
         )
-        probs = _softmax(logits)
-        n = len(labels)
-        loss = -float(
-            np.mean(np.log(probs[np.arange(n), labels] + 1e-12))
-        )
-        dlogits = probs
-        dlogits[np.arange(n), labels] -= 1.0
-        dlogits /= n
+        loss, dlogits = softmax_cross_entropy(logits, labels)
 
         grads: list[dict] = [{} for _ in range(self.num_layers)]
         d_h = np.zeros(out_shape)
@@ -223,6 +216,121 @@ class GraphSAGE:
         loss, grads = self.gradients(batch, features, labels)
         self.apply_gradients(grads)
         return loss
+
+    # ------------------------------------------------------------------
+    # Blocked full-graph forward / backward (partition sweeps)
+
+    def layer_forward_block(
+        self,
+        li: int,
+        h_prev: np.ndarray,
+        rows: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+    ) -> np.ndarray:
+        """Layer ``li`` outputs for one partition of a full-graph sweep.
+
+        Args:
+            li: layer index.
+            h_prev: previous-layer representations for the *whole* graph
+                (``num_nodes x d_in``); the sweep only reads the partition
+                rows plus its halo, but indexing stays global.
+            rows: sorted global node ids computed by this step.
+            src/dst: global-id in-edges with every ``dst`` in ``rows``.
+
+        Returns:
+            ``len(rows) x d_out`` block of the layer's output.  Because a
+            node's aggregation involves only its own in-edges (kept in CSR
+            order), sweeping partitions reproduces the monolithic
+            full-graph forward exactly.
+        """
+        params = self.layers[li]
+        h_prev = np.asarray(h_prev, dtype=np.float64)
+        local_dst = np.searchsorted(rows, dst)
+        agg, _ = self._aggregate_block(h_prev, rows, src, local_dst)
+        if self.aggregator == "gcn":
+            z = agg @ params.w_neigh + params.bias
+        else:
+            z = (
+                h_prev[rows] @ params.w_self
+                + agg @ params.w_neigh
+                + params.bias
+            )
+        is_last = li == self.num_layers - 1
+        return z if is_last else np.maximum(z, 0.0)
+
+    def layer_backward_block(
+        self,
+        li: int,
+        h_prev: np.ndarray,
+        h_out_rows: np.ndarray | None,
+        rows: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        d_out: np.ndarray,
+        d_h_prev: np.ndarray,
+        grads: dict,
+    ) -> None:
+        """Backward of :meth:`layer_forward_block` for one partition.
+
+        Accumulates this block's parameter gradients into ``grads``
+        (``w_self``/``w_neigh``/``bias`` arrays, summed across partitions)
+        and scatters input-side gradients into the full-graph buffer
+        ``d_h_prev`` — including the halo rows owned by other partitions,
+        which is the backward half of the halo exchange.
+
+        ``h_out_rows`` is this block's forward output (for the ReLU mask);
+        pass ``None`` for the last layer, whose activation is linear.
+        The aggregation itself is *recomputed* from ``h_prev`` rather than
+        cached — the activation-offload design stores only the layer
+        outputs.
+        """
+        params = self.layers[li]
+        h_prev = np.asarray(h_prev, dtype=np.float64)
+        local_dst = np.searchsorted(rows, dst)
+        dz = d_out if h_out_rows is None else d_out * (h_out_rows > 0.0)
+        agg, agg_cache = self._aggregate_block(h_prev, rows, src, local_dst)
+        grads["w_neigh"] += agg.T @ dz
+        grads["bias"] += dz.sum(axis=0)
+        d_agg = dz @ params.w_neigh.T
+        if self.aggregator == "gcn":
+            counts = agg_cache
+            d_h_prev[rows] += d_agg / counts[:, None]
+            if len(src):
+                scaled = d_agg[local_dst] / counts[local_dst][:, None]
+                np.add.at(d_h_prev, src, scaled)
+            return
+        grads["w_self"] += h_prev[rows].T @ dz
+        d_h_prev[rows] += dz @ params.w_self.T
+        self._aggregate_backward(
+            d_agg, d_h_prev, h_prev, agg, src, local_dst, agg_cache
+        )
+
+    def zero_gradients(self) -> list[dict]:
+        """Zero-filled per-layer gradient dicts for sweep accumulation."""
+        return [
+            {
+                "w_self": np.zeros_like(p.w_self),
+                "w_neigh": np.zeros_like(p.w_neigh),
+                "bias": np.zeros_like(p.bias),
+            }
+            for p in self.layers
+        ]
+
+    def _aggregate_block(self, h_prev, rows, src, local_dst):
+        """Aggregation over a partition block; global src, local dst."""
+        n = len(rows)
+        if self.aggregator == "gcn":
+            # The GCN aggregate seeds with the block's own rows, which the
+            # shared kernel cannot express with a full-graph ``h``.
+            agg = h_prev[rows].copy()
+            counts = np.ones(n)
+            if len(src):
+                np.add.at(agg, local_dst, h_prev[src])
+                np.add.at(counts, local_dst, 1.0)
+            agg /= counts[:, None]
+            return agg, counts
+        return self._aggregate(h_prev, src, local_dst, n)
 
     # ------------------------------------------------------------------
     # Aggregators
@@ -405,6 +513,24 @@ def synthetic_labels(
     projection = rng.standard_normal((store.feature_dim, num_classes))
     feats = store.fetch(node_ids).astype(np.float64)
     return np.argmax(feats @ projection, axis=1).astype(np.int64)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy loss and its logit gradients.
+
+    Shared between the mini-batch :meth:`GraphSAGE.gradients` path and
+    the full-graph sweep trainer so both optimize the identical
+    objective.  Note ``dlogits`` reuses the softmax buffer.
+    """
+    probs = _softmax(logits)
+    n = len(labels)
+    loss = -float(np.mean(np.log(probs[np.arange(n), labels] + 1e-12)))
+    dlogits = probs
+    dlogits[np.arange(n), labels] -= 1.0
+    dlogits /= n
+    return loss, dlogits
 
 
 def _softmax(logits: np.ndarray) -> np.ndarray:

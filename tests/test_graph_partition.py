@@ -111,3 +111,60 @@ class TestPipeline:
     def test_partition_result_validation(self):
         with pytest.raises(GraphError):
             PartitionResult(parts=np.array([0, 5]), num_parts=2)
+
+
+class TestHaloAndStats:
+    """The sweep-facing helpers added for full-graph training."""
+
+    def test_halo_is_unique_sorted_outside_in_neighbors(self, tiny_graph):
+        result = partition_graph(tiny_graph, 4, seed=0)
+        for p in range(4):
+            halo = result.halo_nodes(tiny_graph, p)
+            members = result.members(p)
+            assert np.array_equal(halo, np.unique(halo))
+            assert not np.isin(halo, members).any()
+            # Every halo node really is an in-neighbor of some member.
+            inside = np.zeros(tiny_graph.num_nodes, dtype=bool)
+            inside[members] = True
+            dst = np.repeat(
+                np.arange(tiny_graph.num_nodes, dtype=np.int64),
+                tiny_graph.degrees,
+            )
+            src = tiny_graph.indices
+            boundary = np.unique(src[inside[dst] & ~inside[src]])
+            assert np.array_equal(halo, boundary)
+
+    def test_disconnected_cliques_have_empty_halo(self):
+        src = np.array([0, 1, 2, 3, 4, 5])
+        dst = np.array([1, 2, 0, 4, 5, 3])
+        g = from_coo(src, dst, 6)
+        result = PartitionResult(
+            parts=np.array([0, 0, 0, 1, 1, 1]), num_parts=2
+        )
+        for p in range(2):
+            assert len(result.halo_nodes(g, p)) == 0
+
+    def test_edge_cut_stats_totals(self, tiny_graph):
+        result = partition_graph(tiny_graph, 3, seed=1)
+        stats = result.edge_cut_stats(tiny_graph)
+        assert len(stats) == 3
+        assert sum(s["nodes"] for s in stats) == tiny_graph.num_nodes
+        total_edges = sum(
+            s["internal_edges"] + s["cut_in_edges"] for s in stats
+        )
+        assert total_edges == tiny_graph.num_edges
+        # cut_in summed == cut_out summed (every crossing edge counted
+        # once from each side) and both equal the global edge cut.
+        cut_in = sum(s["cut_in_edges"] for s in stats)
+        cut_out = sum(s["cut_out_edges"] for s in stats)
+        assert cut_in == cut_out == edge_cut(tiny_graph, result.parts)
+        for s in stats:
+            assert s["halo_nodes"] <= s["cut_in_edges"]
+
+    def test_stats_on_single_partition(self, tiny_graph):
+        result = partition_graph(tiny_graph, 1, seed=0)
+        (stats,) = result.edge_cut_stats(tiny_graph)
+        assert stats["cut_in_edges"] == 0
+        assert stats["cut_out_edges"] == 0
+        assert stats["halo_nodes"] == 0
+        assert stats["internal_edges"] == tiny_graph.num_edges

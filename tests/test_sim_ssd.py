@@ -130,3 +130,73 @@ class TestSSDMicrobench:
             SSDMicrobench(INTEL_OPTANE, latency_cv=-1.0)
         with pytest.raises(ConfigError):
             SSDMicrobench(INTEL_OPTANE).run(-5)
+
+
+class TestSequentialPath:
+    """The large-transfer path used only by full-graph sweeps."""
+
+    def test_read_time_phases(self):
+        arr = SSDArray(SAMSUNG_980PRO)
+        n_bytes = 64 * 2**20
+        expected = (
+            arr.t_init_s
+            + n_bytes / SAMSUNG_980PRO.sequential_read_bandwidth
+            + arr.t_term_s
+        )
+        assert arr.sequential_read_time(n_bytes) == pytest.approx(expected)
+
+    def test_write_skips_first_completion_latency(self):
+        arr = SSDArray(SAMSUNG_980PRO)
+        n_bytes = 64 * 2**20
+        expected = (
+            arr.t_init_extra_s
+            + n_bytes / SAMSUNG_980PRO.sequential_write_bandwidth
+            + arr.t_term_s
+        )
+        assert arr.sequential_write_time(n_bytes) == pytest.approx(expected)
+
+    def test_array_width_scales_bandwidth(self):
+        one = SSDArray(SAMSUNG_980PRO, num_ssds=1)
+        four = SSDArray(SAMSUNG_980PRO, num_ssds=4)
+        assert four.seq_read_bandwidth == 4 * one.seq_read_bandwidth
+        big = 2**30
+        assert four.sequential_read_time(big) < one.sequential_read_time(big)
+
+    def test_sequential_beats_random_for_bulk_transfers(self):
+        arr = SSDArray(SAMSUNG_980PRO)
+        n_bytes = 2**30
+        pages = n_bytes // SAMSUNG_980PRO.page_bytes
+        assert arr.sequential_read_time(n_bytes) < arr.batch_service_time(pages)
+
+    def test_spec_without_sequential_rating_falls_back(self):
+        import dataclasses
+
+        bare = dataclasses.replace(
+            INTEL_OPTANE,
+            seq_read_bandwidth=None,
+            seq_write_bandwidth=None,
+        )
+        # Without a rating the path degrades to the random-read ceiling
+        # (reads) and transitively for writes.
+        assert bare.sequential_read_bandwidth == bare.peak_bandwidth
+        assert (
+            bare.sequential_write_bandwidth
+            == bare.sequential_read_bandwidth
+        )
+        # A write-only gap falls back to the read rating.
+        read_only = dataclasses.replace(
+            INTEL_OPTANE, seq_write_bandwidth=None
+        )
+        assert (
+            read_only.sequential_write_bandwidth
+            == read_only.seq_read_bandwidth
+        )
+
+    def test_zero_and_negative_bytes(self):
+        arr = SSDArray(SAMSUNG_980PRO)
+        assert arr.sequential_read_time(0) == 0.0
+        assert arr.sequential_write_time(0) == 0.0
+        with pytest.raises(ConfigError):
+            arr.sequential_read_time(-1)
+        with pytest.raises(ConfigError):
+            arr.sequential_write_time(-1)
