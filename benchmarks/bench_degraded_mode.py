@@ -1,0 +1,175 @@
+"""Degraded-mode economics: redundancy overhead vs surviving a device kill.
+
+Runs the GIDS loader on 2/4/8-SSD arrays in three redundancy modes —
+none, 2-way replication, k+1 rotating parity — healthy and with one
+device killed at t=0, and records the trade to
+``BENCH_degraded_mode.json`` at the repo root so the bench trajectory
+tracks it across commits:
+
+* **overhead** — physical bytes written per logical byte
+  (1.0 / 2.0 / (k+1)/k) and the healthy-run e2e cost of redundancy
+  (zero by construction: routing is pay-for-what-you-use);
+* **degraded throughput** — e2e slowdown with a dead device, and where
+  the lost stripe share went (CPU mirror without redundancy, surviving
+  replicas or parity reconstruction with it);
+* **rebuild throughput** — pages re-protected per modeled second on the
+  budgeted background IOPS stream.
+
+Assertions encode the PR's acceptance criteria: redundant runs complete
+the identical sampled workload with zero CPU-mirror fallback reads,
+while the unprotected run leans on the mirror for every lost page.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import get_workload
+from repro.config import INTEL_OPTANE
+from repro.core.gids import GIDSDataLoader
+from repro.faults import DeviceEvent, FaultPlan
+
+SSD_COUNTS = (2, 4, 8)
+ITERATIONS = 12
+REBUILD_IOPS = 1e6
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_degraded_mode.json"
+
+#: (mode label, loader HA kwargs)
+MODES = (
+    ("none", {}),
+    ("replication-2", {"replication": 2}),
+    ("parity", {"parity": True}),
+)
+
+
+def _run(workload, num_ssds, ha_kwargs, *, degraded):
+    system = workload.system(INTEL_OPTANE, num_ssds=num_ssds)
+    kwargs = dict(ha_kwargs)
+    if degraded:
+        kwargs["fault_plan"] = FaultPlan(
+            seed=2, device_events=(DeviceEvent(1, "dropout", 0.0),)
+        )
+        if ha_kwargs:
+            kwargs["rebuild_iops"] = REBUILD_IOPS
+    loader = GIDSDataLoader(
+        workload.dataset,
+        system,
+        workload.loader_config(),
+        batch_size=workload.batch_size,
+        fanouts=workload.fanouts,
+        seed=1,
+        **kwargs,
+    )
+    report = loader.run(ITERATIONS, warmup=0)
+    return loader, report
+
+
+def test_degraded_mode_redundancy_trade(benchmark):
+    workload = get_workload("IGB-tiny", scale=0.05)
+
+    def run():
+        results = {}
+        for num_ssds in SSD_COUNTS:
+            for mode, ha_kwargs in MODES:
+                healthy = _run(workload, num_ssds, ha_kwargs, degraded=False)
+                degraded = _run(workload, num_ssds, ha_kwargs, degraded=True)
+                results[(num_ssds, mode)] = (healthy, degraded)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows, records = [], []
+    for num_ssds in SSD_COUNTS:
+        for mode, _ in MODES:
+            (h_loader, healthy), (d_loader, degraded) = results[
+                (num_ssds, mode)
+            ]
+            overhead = (
+                1.0
+                if d_loader.storage_ha is None
+                else d_loader.storage_ha.placement.storage_overhead_factor
+            )
+            slowdown = degraded.e2e_time / healthy.e2e_time
+            rebuilt = degraded.counters.rebuild_pages
+            rebuild_rate = rebuilt / degraded.e2e_time
+            record = {
+                "num_ssds": num_ssds,
+                "mode": mode,
+                "storage_overhead_factor": overhead,
+                "healthy_e2e_s": healthy.e2e_time,
+                "degraded_e2e_s": degraded.e2e_time,
+                "degraded_slowdown": slowdown,
+                "fallback_requests": degraded.counters.fallback_requests,
+                "replica_redirects": degraded.counters.replica_redirects,
+                "parity_reconstructs": degraded.counters.parity_reconstructs,
+                "reconstruct_reads": degraded.counters.reconstruct_reads,
+                "rebuild_pages": rebuilt,
+                "rebuild_pages_per_s": rebuild_rate,
+            }
+            records.append(record)
+            rows.append(
+                [
+                    num_ssds,
+                    mode,
+                    f"{overhead:.2f}x",
+                    f"{slowdown:.3f}x",
+                    degraded.counters.fallback_requests,
+                    degraded.counters.replica_redirects
+                    + degraded.counters.parity_reconstructs,
+                    f"{rebuild_rate:,.0f}",
+                ]
+            )
+
+    print()
+    print(
+        render_table(
+            [
+                "SSDs", "mode", "overhead", "degraded slowdown",
+                "mirror reads", "redundant reads", "rebuild pages/s",
+            ],
+            rows,
+            title="degraded mode: one device killed at t=0",
+        )
+    )
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "degraded_mode",
+                "workload": "IGB-tiny@0.05",
+                "ssd": INTEL_OPTANE.name,
+                "iterations": ITERATIONS,
+                "rebuild_iops": REBUILD_IOPS,
+                "ssd_counts": list(SSD_COUNTS),
+                "results": records,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    for num_ssds in SSD_COUNTS:
+        (_, bare_h), (_, bare_d) = results[(num_ssds, "none")]
+        # Without redundancy the lost stripe share hits the CPU mirror.
+        assert bare_d.counters.fallback_requests > 0
+        for mode in ("replication-2", "parity"):
+            (_, healthy), (_, degraded) = results[(num_ssds, mode)]
+            # Redundancy on a healthy run costs no modeled read time.
+            assert healthy.e2e_time == bare_h.e2e_time
+            # Degraded-mode reads replace the mirror entirely...
+            assert degraded.counters.fallback_requests == 0
+            # ...and the sampled workload is untouched by any of it.
+            for a, b in zip(bare_h.iterations, degraded.iterations):
+                assert a.num_input_nodes == b.num_input_nodes
+        (_, repl) = results[(num_ssds, "replication-2")][1]
+        (_, par) = results[(num_ssds, "parity")][1]
+        assert repl.counters.replica_redirects > 0
+        # Only replication can re-protect onto survivors while the dead
+        # device stays down; a parity group needs the device back.
+        assert repl.counters.rebuild_pages > 0
+        assert par.counters.parity_reconstructs > 0
+        # Parity pays k member reads per reconstructed page.
+        assert par.counters.reconstruct_reads == (
+            (num_ssds - 1) * par.counters.parity_reconstructs
+        )

@@ -179,6 +179,55 @@ def _write_trace(tracer, path: str) -> None:
     print(f"wrote {events} trace events to {path}", file=sys.stderr)
 
 
+def _add_ha_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="R",
+        help="keep R copies of every feature page across the SSD array "
+        "(default: 1, no redundancy); degraded-mode reads then redirect "
+        "to a surviving replica instead of the CPU mirror",
+    )
+    parser.add_argument(
+        "--parity",
+        action="store_true",
+        help="protect the array with one parity page per stripe "
+        "(RAID-5-style, needs --num-ssds >= 2); lost pages reconstruct "
+        "inline from the surviving group members",
+    )
+    parser.add_argument(
+        "--rebuild-iops",
+        type=float,
+        default=0.0,
+        metavar="N",
+        help="page operations per modeled second granted to the online "
+        "rebuilder that re-protects pages after a device loss "
+        "(default: 0, disabled)",
+    )
+
+
+def _ha_kwargs(args: argparse.Namespace) -> dict:
+    """Validated HA constructor kwargs from the ``_add_ha_args`` flags."""
+    if args.replication < 1:
+        print("error: --replication must be >= 1", file=sys.stderr)
+        raise SystemExit(2)
+    if args.replication > 1 and args.parity:
+        print(
+            "error: choose --replication or --parity, not both",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if args.rebuild_iops < 0:
+        print("error: --rebuild-iops must be non-negative", file=sys.stderr)
+        raise SystemExit(2)
+    return {
+        "replication": args.replication,
+        "parity": args.parity,
+        "rebuild_iops": args.rebuild_iops,
+    }
+
+
 def _add_alerts_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--alerts",
@@ -320,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_args(run)
     _add_trace_args(run)
     _add_integrity_args(run)
+    _add_ha_args(run)
     _add_alerts_arg(run)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
@@ -342,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_args(train)
     _add_trace_args(train)
     _add_integrity_args(train)
+    _add_ha_args(train)
     _add_alerts_arg(train)
 
     fleet = sub.add_parser(
@@ -378,11 +429,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep the chaos scenarios (dropout, straggler, storm...) "
         "and assert the fleet invariants instead of one epoch",
     )
+    _add_ha_args(fleet)
     fleet.add_argument("--format", choices=["table", "json"],
                        default="table")
     fleet.add_argument(
         "-o", "--output", metavar="JSON_PATH", default=None,
-        help="also write the schema-v8 run export (with the fleet block) "
+        help="also write the schema-v10 run export (with the fleet block) "
         "to this file",
     )
 
@@ -442,11 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify reloaded spill pages against their digests: 'off' "
         "(default), 'sample', or 'full'",
     )
+    _add_ha_args(fullgraph)
     fullgraph.add_argument("--format", choices=["table", "json"],
                            default="table")
     fullgraph.add_argument(
         "-o", "--output", metavar="JSON_PATH", default=None,
-        help="also write the schema-v9 run export (with the fullgraph "
+        help="also write the schema-v10 run export (with the fullgraph "
         "block) to this file",
     )
 
@@ -490,11 +543,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject storage faults from a FaultPlan JSON file (device "
         "dropouts exercise the per-device circuit breakers)",
     )
+    _add_ha_args(serve)
     serve.add_argument("--format", choices=["table", "json"],
                        default="table")
     serve.add_argument(
         "-o", "--output", metavar="JSON_PATH", default=None,
-        help="also write the schema-v8 serving export to this file",
+        help="also write the schema-v10 serving export to this file",
     )
     _add_trace_args(serve)
     _add_alerts_arg(serve)
@@ -540,6 +594,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="planned fleet width; worker events targeting gpu:<k> with "
         "k >= N are flagged",
     )
+    validate.add_argument(
+        "--num-ssds", type=int, default=None, metavar="N",
+        help="planned SSD-array width; device events targeting device "
+        "k >= N are flagged, as is a plan that drops every device with "
+        "no recovery (a full-array wipe nothing can serve through)",
+    )
+
+    storage = sub.add_parser(
+        "storage",
+        help="storage-HA drill: device health and rebuild report",
+    )
+    storage.add_argument("--dataset", default="IGB-tiny")
+    storage.add_argument("--scale", type=float, default=0.05,
+                         help="dataset shrink factor (default: 0.05)")
+    storage.add_argument("--ssd", choices=sorted(_SSDS), default="optane")
+    storage.add_argument("--num-ssds", type=int, default=4)
+    storage.add_argument(
+        "--fault-plan", metavar="JSON_PATH", default=None,
+        help="FaultPlan JSON whose device events (dropout / recovery / "
+        "fail_slow) drive the health state machine",
+    )
+    storage.add_argument(
+        "--duration", type=float, default=1.0, metavar="SECONDS",
+        help="simulated observation window (default: 1.0 s)",
+    )
+    storage.add_argument(
+        "--steps", type=int, default=50, metavar="N",
+        help="health observations across the window (default: 50)",
+    )
+    _add_ha_args(storage)
+    storage.add_argument("--format", choices=["table", "json"],
+                         default="table")
 
     trace = sub.add_parser(
         "trace", help="render a saved Chrome trace as an ASCII timeline"
@@ -755,6 +841,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = None
     if args.fault_plan is not None:
         fault_plan = _load_fault_plan(args.fault_plan)
+    ha = _ha_kwargs(args)
+    ha_on = (
+        ha["replication"] > 1 or ha["parity"] or ha["rebuild_iops"] > 0
+    )
+    if ha_on and args.loader not in ("gids", "bam", "all"):
+        print(
+            "error: --replication/--parity/--rebuild-iops require the "
+            "gids or bam loader",
+            file=sys.stderr,
+        )
+        return 2
     alert_rules = None
     if args.alerts is not None:
         alert_rules = _load_alert_rules(args.alerts)
@@ -784,20 +881,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         verify_reads=args.verify_reads, scrub_iops=args.scrub_iops
     )
     reports = []
+    ha_blocks: list = []
     for kind in selected:
         if kind == "gids":
             loader = GIDSDataLoader(
                 workload.dataset, system, config,
                 hot_nodes=workload.hot_nodes, fault_plan=fault_plan,
-                tracer=tracer, **integrity, **common,
+                tracer=tracer, **integrity, **ha, **common,
             )
             reports.append(loader.run(args.iterations, warmup=10))
+            ha_blocks.append(
+                loader.storage_ha.summary_block()
+                if loader.storage_ha is not None
+                else None
+            )
         elif kind == "bam":
             loader = BaMDataLoader(
                 workload.dataset, system, config, fault_plan=fault_plan,
-                tracer=tracer, **integrity, **common,
+                tracer=tracer, **integrity, **ha, **common,
             )
             reports.append(loader.run(args.iterations, warmup=10))
+            ha_blocks.append(
+                loader.storage_ha.summary_block()
+                if loader.storage_ha is not None
+                else None
+            )
         elif kind == "ginex":
             if heterogeneous:
                 print(
@@ -810,6 +918,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 verify_reads=args.verify_reads, **common,
             )
             reports.append(loader.run(args.iterations, warmup=150))
+            ha_blocks.append(None)
         else:
             if fault_plan is not None:
                 print(
@@ -819,6 +928,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 )
             loader = DGLMmapLoader(workload.dataset, system, **common)
             reports.append(loader.run(args.iterations, warmup=150))
+            ha_blocks.append(None)
 
     if not reports:
         print("no loader could run on this workload", file=sys.stderr)
@@ -841,9 +951,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "["
             + ",\n".join(
                 report_to_json(
-                    r, tracer=tracer, system=system, alerts=block
+                    r, tracer=tracer, system=system, alerts=block,
+                    storage_ha=ha_block,
                 )
-                for r, block in zip(reports, alerts_blocks)
+                for r, block, ha_block in zip(
+                    reports, alerts_blocks, ha_blocks
+                )
             )
             + "]"
         )
@@ -910,7 +1023,7 @@ def _cmd_run_supervised(
             workload.dataset, system, config,
             fault_plan=fault_plan, tracer=tracer,
             verify_reads=args.verify_reads, scrub_iops=args.scrub_iops,
-            **kwargs,
+            **_ha_kwargs(args), **kwargs,
         )
         model = GraphSAGE(
             workload.dataset.feature_dim, 32, 8, num_layers=len(
@@ -1000,6 +1113,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             dataset, system, config, batch_size=args.batch_size,
             fanouts=(5, 5), seed=1, fault_plan=fault_plan, tracer=tracer,
             verify_reads=args.verify_reads, scrub_iops=args.scrub_iops,
+            **_ha_kwargs(args),
         )
         model = GraphSAGE(
             dataset.feature_dim, args.hidden_dim, args.classes,
@@ -1130,6 +1244,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             seed=args.seed,
             fault_plan=fault_plan,
             fanouts=workload.fanouts,
+            **_ha_kwargs(args),
         )
         result = trainer.run_epoch()
     except ReproError as exc:
@@ -1138,7 +1253,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     violations = check_invariants(dataset, result)
     summary = report_to_dict(
-        result.report, system=system, fleet=result.fleet_block()
+        result.report, system=system, fleet=result.fleet_block(),
+        storage_ha=(
+            trainer.storage_ha.summary_block()
+            if trainer.storage_ha is not None
+            else None
+        ),
     )
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -1224,6 +1344,7 @@ def _cmd_fullgraph(args: argparse.Namespace) -> int:
             ),
             num_partitions=args.partitions,
             io_overlap=not args.no_overlap,
+            **_ha_kwargs(args),
         )
         trainer = FullGraphTrainer(
             dataset,
@@ -1421,6 +1542,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=1,
         fault_plan=fault_plan,
         tracer=tracer,
+        **_ha_kwargs(args),
     )
     server.serve(args.requests)
     server.drain()
@@ -1436,7 +1558,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         alerts_block = monitor.evaluate(None, server.registry)
         _print_alerts(server.name, alerts_block)
     summary = report.export_dict(
-        tracer=tracer, system=system, alerts=alerts_block
+        tracer=tracer, system=system, alerts=alerts_block,
+        storage_ha=(
+            server.storage_ha.summary_block()
+            if server.storage_ha is not None
+            else None
+        ),
     )
     if tracer is not None:
         _write_trace(tracer, args.trace)
@@ -1613,6 +1740,46 @@ def _cmd_faults_validate(args: argparse.Namespace) -> int:
                 f"the plan drops all {args.fleet_size} workers with no "
                 "recovery: the fleet would stall with batches unassigned"
             )
+    if args.num_ssds is not None:
+        if args.num_ssds <= 0:
+            print("error: --num-ssds must be positive", file=sys.stderr)
+            return 2
+        for event in plan.device_events:
+            if event.device >= args.num_ssds:
+                problems.append(
+                    f"{event.kind} event targets device {event.device} "
+                    f"but a {args.num_ssds}-SSD array only has devices "
+                    f"0..{args.num_ssds - 1}"
+                )
+        for event in plan.corruption_events:
+            if event.device >= args.num_ssds:
+                problems.append(
+                    f"corruption storm targets device {event.device} "
+                    f"but a {args.num_ssds}-SSD array only has devices "
+                    f"0..{args.num_ssds - 1}"
+                )
+        # A full-array wipe with no recovery leaves nothing to serve (or
+        # rebuild) from; with redundancy a partial wipe is survivable,
+        # but an all-devices-down plan cannot be routed around.
+        down: set[int] = set()
+        all_down = False
+        for event in sorted(
+            plan.device_events, key=lambda e: (e.at_time_s, e.device)
+        ):
+            if event.device >= args.num_ssds:
+                continue
+            if event.kind == "dropout":
+                down.add(event.device)
+            elif event.kind == "recovery":
+                down.discard(event.device)
+            if len(down) >= args.num_ssds:
+                all_down = True
+        if all_down and down and len(down) >= args.num_ssds:
+            problems.append(
+                f"the plan drops all {args.num_ssds} devices with no "
+                "recovery: no replica or parity group survives to serve "
+                "reads"
+            )
 
     rates = [
         ["read_failure_rate", f"{plan.read_failure_rate:g}"],
@@ -1661,6 +1828,127 @@ def _cmd_faults_validate(args: argparse.Namespace) -> int:
     if problems:
         return 2
     print("plan is valid")
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    """``storage``: a stepped device health / rebuild drill.
+
+    Advances the fault timeline across ``--duration`` in ``--steps``
+    observation ticks (the health monitor needs repeated EWMA samples to
+    tell fail-slow from a blip), granting the rebuilder its budget each
+    tick, then prints the per-device health table and rebuild progress.
+    """
+    import json
+
+    from .bench.workloads import get_workload
+    from .errors import ReproError
+    from .faults.array import FaultySSDArray
+    from .faults.injector import FaultInjector
+    from .sim.ssd import SSDArray
+    from .storage.feature_store import FeatureStore
+    from .storage_ha import StorageHA
+
+    if args.num_ssds <= 0:
+        print("error: --num-ssds must be positive", file=sys.stderr)
+        return 2
+    if args.duration <= 0:
+        print("error: --duration must be positive", file=sys.stderr)
+        return 2
+    if args.steps <= 0:
+        print("error: --steps must be positive", file=sys.stderr)
+        return 2
+    ha_kwargs = _ha_kwargs(args)
+
+    workload = get_workload(args.dataset, scale=args.scale)
+    system = workload.system(_SSDS[args.ssd], num_ssds=args.num_ssds)
+    store = FeatureStore(
+        workload.dataset.num_nodes,
+        workload.dataset.feature_dim,
+        page_bytes=system.ssd.page_bytes,
+    )
+
+    fault_array = None
+    if args.fault_plan is not None:
+        plan = _load_fault_plan(args.fault_plan)
+        if plan.device_events:
+            fault_array = FaultySSDArray(
+                SSDArray(system.ssd, system.num_ssds), FaultInjector(plan)
+            )
+        else:
+            print(
+                "note: the plan has no device events; the array stays "
+                "healthy",
+                file=sys.stderr,
+            )
+    try:
+        ha = StorageHA(
+            num_devices=system.num_ssds,
+            base_latency_s=system.ssd.read_latency_s,
+            total_pages=store.layout.total_pages,
+            fault_array=fault_array,
+            **ha_kwargs,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    dt = args.duration / args.steps
+    now = 0.0
+    for _ in range(args.steps):
+        now += dt
+        ha.advance(now)
+        ha.background_sweep(dt, now)
+
+    block = ha.summary_block()
+    block["observed_seconds"] = args.duration
+    block["observations"] = args.steps
+    if args.format == "json":
+        print(json.dumps(block, indent=2, sort_keys=True, allow_nan=False))
+        return 0
+
+    ewma = ha.health.ewma_latencies()
+    states = block["device_states"]
+    rows = [
+        [
+            f"ssd:{device}",
+            states[device],
+            f"{ewma[device] * 1e6:.1f}",
+        ]
+        for device in range(system.num_ssds)
+    ]
+    mode = block["mode"]
+    width = (
+        f"replication x{block['replication_factor']}"
+        if mode == "replication"
+        else f"parity k={block['parity_group_k']}+1"
+    )
+    print(
+        render_table(
+            ["device", "health", "EWMA latency (us)"],
+            rows,
+            title=f"{system.num_ssds}-SSD array after "
+            f"{args.duration:g}s ({width}, overhead "
+            f"{block['storage_overhead_factor']:.2f}x)",
+        )
+    )
+    for t in block["health_transitions"]:
+        print(
+            f"health: ssd:{t['device']} {t['from']} -> {t['to']} at "
+            f"{t['at_time_s']:.3f}s"
+        )
+    jobs = block["rebuild_jobs_open"]
+    if jobs:
+        for job in jobs:
+            print(
+                f"rebuild: {job['kind']} ssd:{job['device']} "
+                f"{job['pages_done']}/{job['pages_total']} pages"
+            )
+    print(
+        f"redundant: {'yes' if block['fully_redundant'] else 'NO'}; "
+        f"{block['pages_rebuilt_total']} pages rebuilt on "
+        f"{block['rebuild_iops_budget']:g} IOPS budget"
+    )
     return 0
 
 
@@ -2036,6 +2324,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "scrub":
         return _cmd_scrub(args)
+    if args.command == "storage":
+        return _cmd_storage(args)
     if args.command == "faults":
         if args.faults_command == "validate":
             return _cmd_faults_validate(args)

@@ -63,6 +63,7 @@ from ..sim.counters import TransferCounters
 from ..sim.gpu import GPUModel
 from ..sim.ssd import SSDArray
 from ..storage.feature_store import FeatureStore
+from ..storage_ha import StorageHA
 from ..training.graphsage import (
     GraphSAGE,
     average_gradients,
@@ -369,6 +370,9 @@ class ElasticFleetTrainer:
         num_classes: int = 8,
         lr: float = 0.05,
         label_seed: int = 0,
+        replication: int = 1,
+        parity: bool = False,
+        rebuild_iops: float = 0.0,
         tracer=None,
     ) -> None:
         self.dataset = dataset
@@ -420,6 +424,21 @@ class ElasticFleetTrainer:
                     base_array, FaultInjector(fault_plan)
                 )
         self._base_array = base_array
+
+        # Storage HA over the shared array: pay-for-what-you-use — the
+        # defaults keep the fleet's storage accounting bit-identical.
+        self.storage_ha: StorageHA | None = None
+        if replication > 1 or parity or rebuild_iops > 0:
+            self.storage_ha = StorageHA(
+                num_devices=system.num_ssds,
+                base_latency_s=system.ssd.read_latency_s,
+                replication=replication,
+                parity=parity,
+                rebuild_iops=rebuild_iops,
+                total_pages=self.layout.total_pages,
+                fault_array=self.fault_array,
+                tracer=tracer,
+            )
 
         cache_lines = int(gpu_cache_bytes // self.layout.page_bytes)
         self.workers = [
@@ -632,7 +651,9 @@ class ElasticFleetTrainer:
     ) -> tuple[float, float, float, int, int, int]:
         """Serve one batch's pages through cache -> peers -> SSD.
 
-        Returns ``(hbm_s, peer_s, ssd_s, n_hits, n_peer, n_ssd)``.
+        Returns ``(hbm_s, peer_s, ssd_s, n_hits, n_peer, n_ssd,
+        ha_route)``; ``ha_route`` is the storage-HA routing outcome (or
+        ``None`` when redundancy is off).
         """
         page_bytes = self.layout.page_bytes
         hit_mask = worker.cache.access(pages)
@@ -687,6 +708,7 @@ class ElasticFleetTrainer:
                     remaining = remaining[~found]
 
         n_ssd = len(remaining)
+        ha_route = None
         if self.fault_array is not None:
             self.fault_array.advance_to(self.clock_s)
             effective = self.fault_array.effective()
@@ -698,12 +720,21 @@ class ElasticFleetTrainer:
                 contended_ssd(self.system.ssd, n_active),
                 self.system.num_ssds,
             )
-        ssd_s = array.batch_service_time(n_ssd) if n_ssd else 0.0
+        n_service = n_ssd
+        if self.storage_ha is not None and self.fault_array is not None:
+            # Route the batch through the redundancy layout: pages behind
+            # an unavailable device come off replicas (counted) or cost
+            # parity member reads (added to device service).
+            self.storage_ha.advance(self.clock_s)
+            if n_ssd:
+                ha_route = self.storage_ha.route(remaining)
+                n_service += ha_route.extra_service_reads
+        ssd_s = array.batch_service_time(n_service) if n_service else 0.0
 
         worker.counters["cache_hit_pages"] += n_hits
         worker.counters["peer_hit_pages"] += n_peer
         worker.counters["ssd_pages"] += n_ssd
-        return hbm_s, peer_s, ssd_s, n_hits, n_peer, n_ssd
+        return hbm_s, peer_s, ssd_s, n_hits, n_peer, n_ssd, ha_route
 
     # ------------------------------------------------------------------
     # The global step
@@ -753,8 +784,8 @@ class ElasticFleetTrainer:
                 minibatch.num_sampled, n_kernels=len(self.fanouts)
             )
             pages = self.layout.pages_for_nodes(minibatch.input_nodes)
-            hbm_s, peer_s, ssd_s, n_hits, n_peer, n_ssd = self._serve_pages(
-                worker, pages, n_active
+            hbm_s, peer_s, ssd_s, n_hits, n_peer, n_ssd, ha_route = (
+                self._serve_pages(worker, pages, n_active)
             )
             transfer_s = n_ssd * page_bytes / self.system.pcie.bandwidth_bytes
             training_s = self.gpu.training_time(minibatch.num_input_nodes)
@@ -795,6 +826,13 @@ class ElasticFleetTrainer:
             counters.storage_bytes += n_ssd * page_bytes
             counters.gpu_cache_hits += n_hits
             counters.gpu_cache_bytes += n_hits * page_bytes
+            if ha_route is not None:
+                counters.replica_redirects += ha_route.n_replica
+                counters.parity_reconstructs += ha_route.n_reconstruct
+                counters.reconstruct_reads += ha_route.reconstruct_reads
+                counters.storage_bytes += (
+                    ha_route.extra_service_reads * page_bytes
+                )
             work_stats.append(
                 (worker, minibatch, times, batch_index, elapsed)
             )
@@ -861,6 +899,14 @@ class ElasticFleetTrainer:
                 counters=counters,
             )
         )
+
+        if self.storage_ha is not None:
+            # Rebuild soaks the step's idle IOPS (scrubber economics).
+            sweep = self.storage_ha.background_sweep(
+                step_time, self.clock_s + step_time
+            )
+            if sweep is not None and sweep.pages_rebuilt:
+                counters.rebuild_pages += sweep.pages_rebuilt
 
         self.clock_s += step_time
         self.step_index += 1
@@ -979,6 +1025,11 @@ class ElasticFleetTrainer:
                 if self.fault_array is None
                 else self.fault_array.state_dict()
             ),
+            "storage_ha": (
+                None
+                if self.storage_ha is None
+                else self.storage_ha.state_dict()
+            ),
             "report": self.report.state_dict(),
         }
 
@@ -1032,6 +1083,13 @@ class ElasticFleetTrainer:
             )
         if self.fault_array is not None:
             self.fault_array.load_state_dict(fault_state)
+        ha_state = state.get("storage_ha")
+        if (ha_state is None) != (self.storage_ha is None):
+            raise CheckpointError(
+                "fleet snapshot and trainer disagree on storage-HA state"
+            )
+        if self.storage_ha is not None:
+            self.storage_ha.load_state_dict(ha_state)
         self.report = RunReport.from_state_dict(state["report"])
 
 

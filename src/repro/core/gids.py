@@ -55,6 +55,7 @@ from ..sim.gpu import GPUModel
 from ..sim.pcie import PCIeLink
 from ..sim.ssd import SSDArray
 from ..storage.feature_store import FeatureStore
+from ..storage_ha import StorageHA
 from ..telemetry import Tracer
 from ..utils import as_rng
 
@@ -125,6 +126,17 @@ class GIDSDataLoader:
             background scrubber (0 disables scrubbing).  The scrubber
             sweeps the page space between training groups, detecting and
             rewriting storm-poisoned pages the workload has not touched.
+        replication: total copies of each feature page across the array
+            (1 = today's unreplicated striping; bit-identical default).
+            With 2 or more, reads whose home device is unavailable
+            redirect to a surviving replica instead of the CPU mirror.
+        parity: protect pages with k+1 rotating parity groups instead of
+            replication (mutually exclusive with ``replication > 1``);
+            unavailable pages are reconstructed from the ``k`` surviving
+            group members at the modeled cost of ``k`` member reads.
+        rebuild_iops: background device operations per modeled second
+            granted to the online rebuilder (0 disables it) — same
+            pay-for-what-you-use economics as ``scrub_iops``.
         tracer: optional :class:`~repro.telemetry.Tracer`.  When attached,
             the loader records stage spans on the modeled clock (and, at
             ``"request"`` detail, per-resource spans for the SSD batch,
@@ -156,6 +168,9 @@ class GIDSDataLoader:
         verify_reads: str = "off",
         verify_sample_rate: float = 0.1,
         scrub_iops: float = 0.0,
+        replication: int = 1,
+        parity: bool = False,
+        rebuild_iops: float = 0.0,
         tracer: Tracer | None = None,
     ) -> None:
         if framework_overhead_s < 0:
@@ -191,6 +206,23 @@ class GIDSDataLoader:
                     system.pcie,
                     degradation_factor=fault_plan.pcie_degradation_factor,
                 )
+
+        # Storage HA (replication/parity + health + rebuild) is likewise
+        # pay-for-what-you-use: with the defaults no StorageHA object
+        # exists, and with redundancy on but no fault machinery attached
+        # every route() is an inert all-direct pass-through.
+        self.storage_ha: StorageHA | None = None
+        if replication > 1 or parity or rebuild_iops > 0:
+            self.storage_ha = StorageHA(
+                num_devices=system.num_ssds,
+                base_latency_s=system.ssd.read_latency_s,
+                replication=replication,
+                parity=parity,
+                rebuild_iops=rebuild_iops,
+                total_pages=self.store.layout.total_pages,
+                fault_array=self.fault_array,
+                tracer=tracer,
+            )
 
         # Integrity machinery follows the same pay-for-what-you-use rule:
         # it exists only when something can corrupt reads or the caller
@@ -405,6 +437,8 @@ class GIDSDataLoader:
         if faults is not None:
             self.fault_array.advance_to(self._sim_now_s)
             array = self.fault_array
+        if self.storage_ha is not None:
+            self.storage_ha.advance(self._sim_now_s)
 
         per_entry: list[TransferCounters] = []
         integrity_rereads = 0
@@ -416,25 +450,42 @@ class GIDSDataLoader:
                 n_hits = int(hit_mask.sum())
                 n_miss = len(entry.pages) - n_hits
                 n_lost = 0
+                n_replica = n_reconstruct = extra_reads = 0
                 if faults is not None and n_miss:
-                    # Pages homed on a dropped-out device are known-lost:
-                    # they skip storage and fall back to the feature-store
-                    # path.
                     miss_pages = entry.pages[~hit_mask]
-                    n_lost = int(
-                        self.fault_array.lost_page_mask(miss_pages).sum()
-                    )
+                    if self.storage_ha is not None:
+                        # Redundant layout: unavailable pages redirect to
+                        # a surviving replica or reconstruct from parity;
+                        # only pages with no live copy fall back.
+                        route = self.storage_ha.route(miss_pages)
+                        n_lost = route.n_lost
+                        n_replica = route.n_replica
+                        n_reconstruct = route.n_reconstruct
+                        extra_reads = route.extra_service_reads
+                    else:
+                        # Pages homed on a dropped-out (or recovered but
+                        # not yet rebuilt) device are known-unavailable:
+                        # they skip storage and fall back to the
+                        # feature-store path.
+                        n_lost = int(
+                            self.fault_array.unavailable_page_mask(
+                                miss_pages
+                            ).sum()
+                        )
                 n_storage = n_miss - n_lost
                 per_entry.append(
                     TransferCounters(
                         storage_requests=n_storage,
-                        storage_bytes=n_storage * page_bytes,
+                        storage_bytes=(n_storage + extra_reads) * page_bytes,
                         cpu_buffer_requests=n_buffer_nodes,
                         cpu_buffer_bytes=n_buffer_nodes * feature_bytes,
                         gpu_cache_hits=n_hits,
                         gpu_cache_bytes=n_hits * page_bytes,
                         fallback_requests=n_lost,
                         fallback_bytes=n_lost * page_bytes,
+                        replica_redirects=n_replica,
+                        parity_reconstructs=n_reconstruct,
+                        reconstruct_reads=n_reconstruct + extra_reads,
                     )
                 )
         else:
@@ -460,6 +511,12 @@ class GIDSDataLoader:
         # commands; digest checks cost modeled hash time on every verified
         # byte.  Both are zero whenever the integrity layer is off.
         service_requests += integrity_rereads
+        # Parity reconstruction issues k member reads for each rebuilt
+        # page; the extra k-1 occupy device service like fresh commands.
+        ha_extra_reads = sum(
+            c.reconstruct_reads - c.parity_reconstructs for c in per_entry
+        )
+        service_requests += ha_extra_reads
         integrity_extra_time = verified_bytes / VERIFY_BANDWIDTH_BYTES_PER_S
         total_storage_bytes = sum(c.storage_bytes for c in per_entry)
         total_fallback_bytes = sum(c.fallback_bytes for c in per_entry)
@@ -562,6 +619,38 @@ class GIDSDataLoader:
                         repaired=scrub.repaired,
                         released=scrub.released,
                     )
+        if self.storage_ha is not None:
+            # The rebuilder rides the same idle-IOPS economics as the
+            # scrubber: its sweep overlaps the group, costs no modeled
+            # time, and its traffic lands on the last iteration.
+            group_elapsed = sum(m.times.total for m in metrics)
+            sweep = self.storage_ha.background_sweep(
+                group_elapsed, group_start_s + group_elapsed
+            )
+            if sweep is not None and sweep.pages_rebuilt:
+                metrics[-1].counters.rebuild_pages += sweep.pages_rebuilt
+            if (
+                tracer is not None
+                and tracer.want_request_detail
+                and (ha_extra_reads or any(
+                    c.replica_redirects for c in per_entry
+                ))
+            ):
+                tracer.record(
+                    "degraded_reads",
+                    "storage.ha",
+                    start_s=group_start_s,
+                    duration_s=storage_time,
+                    replica_redirects=sum(
+                        c.replica_redirects for c in per_entry
+                    ),
+                    parity_reconstructs=sum(
+                        c.parity_reconstructs for c in per_entry
+                    ),
+                    reconstruct_reads=sum(
+                        c.reconstruct_reads for c in per_entry
+                    ),
+                )
 
         if tracer is not None and tracer.enabled:
             self._trace_group_stages(tracer, group_start_s, metrics)
@@ -608,11 +697,25 @@ class GIDSDataLoader:
         n_hits = int(hit_mask.sum())
         miss_pages = pages[~hit_mask]
         n_lost = 0
+        n_replica = n_reconstruct = extra_reads = 0
         if self.faults is not None and len(miss_pages):
-            lost = self.fault_array.lost_page_mask(miss_pages)
-            if lost.any():
-                n_lost = int(lost.sum())
-                miss_pages = miss_pages[~lost]
+            if self.storage_ha is not None:
+                # Redirect unavailable pages to a surviving copy (or
+                # reconstruct from parity); the redirected pages still run
+                # the corruption draw and verifier below — replicas get
+                # verified exactly like primary reads.
+                route = self.storage_ha.route(miss_pages)
+                n_lost = route.n_lost
+                n_replica = route.n_replica
+                n_reconstruct = route.n_reconstruct
+                extra_reads = route.extra_service_reads
+                if n_lost:
+                    miss_pages = miss_pages[~route.lost_mask]
+            else:
+                lost = self.fault_array.unavailable_page_mask(miss_pages)
+                if lost.any():
+                    n_lost = int(lost.sum())
+                    miss_pages = miss_pages[~lost]
         n_storage = len(miss_pages)
 
         origins = None
@@ -639,13 +742,16 @@ class GIDSDataLoader:
         n_fallback = n_lost + n_quarantine + q_now
         return TransferCounters(
             storage_requests=n_storage,
-            storage_bytes=(n_storage - q_now) * page_bytes,
+            storage_bytes=(n_storage - q_now + extra_reads) * page_bytes,
             cpu_buffer_requests=n_buffer_nodes,
             cpu_buffer_bytes=n_buffer_nodes * feature_bytes,
             gpu_cache_hits=n_hits,
             gpu_cache_bytes=n_hits * page_bytes,
             fallback_requests=n_fallback,
             fallback_bytes=n_fallback * page_bytes,
+            replica_redirects=n_replica,
+            parity_reconstructs=n_reconstruct,
+            reconstruct_reads=n_reconstruct + extra_reads,
             verified_pages=outcome.verified,
             unverified_pages=outcome.unverified,
             corrupt_detected=outcome.detected,
@@ -1005,6 +1111,11 @@ class GIDSDataLoader:
             "sim_now_s": self._sim_now_s,
             "faults": None,
             "integrity": None,
+            "storage_ha": (
+                None
+                if self.storage_ha is None
+                else self.storage_ha.state_dict()
+            ),
             "tracer": (
                 None if self.tracer is None else self.tracer.state_dict()
             ),
@@ -1053,6 +1164,7 @@ class GIDSDataLoader:
             ("cpu_buffer", "cpu_buffer"),
             ("faults", "faults"),
             ("verifier", "integrity"),
+            ("storage_ha", "storage_ha"),
         ):
             if (getattr(self, attr) is None) != (state.get(key) is None):
                 raise CheckpointError(
@@ -1071,6 +1183,8 @@ class GIDSDataLoader:
         if self.faults is not None:
             self.faults.load_state_dict(state["faults"]["injector"])
             self.fault_array.load_state_dict(state["faults"]["array"])
+        if self.storage_ha is not None:
+            self.storage_ha.load_state_dict(state["storage_ha"])
         if self.verifier is not None:
             integrity = state["integrity"]
             self.ledger.load_state_dict(integrity["ledger"])

@@ -35,6 +35,11 @@ class FaultySSDArray:
         self.now_s = 0.0
         self._cache_key: tuple | None = None
         self._cache_array: SSDArray | None = None
+        # Highest dropout generation per device that a rebuild has marked
+        # clean.  A recovered device whose dropout count exceeds its clean
+        # generation holds *stale* pages: it answers reads, but its data
+        # predates the dropout and must not be served until rebuilt.
+        self._clean_generation: dict[int, int] = {}
 
     def advance_to(self, now_s: float) -> None:
         """Move the view's simulated clock forward."""
@@ -46,8 +51,14 @@ class FaultySSDArray:
     # Checkpointing
 
     def state_dict(self) -> dict:
-        """Snapshot the view's simulated clock (its only mutable state)."""
-        return {"now_s": self.now_s}
+        """Snapshot the clock and per-device clean generations."""
+        return {
+            "now_s": self.now_s,
+            "clean_generation": {
+                str(device): gen
+                for device, gen in sorted(self._clean_generation.items())
+            },
+        }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore the clock; the memoized effective array is invalidated."""
@@ -56,7 +67,26 @@ class FaultySSDArray:
             raise CheckpointError(
                 f"invalid faulty-array clock in checkpoint: {now_s!r}"
             )
+        clean = state.get("clean_generation", {})
+        if not isinstance(clean, dict):
+            raise CheckpointError(
+                f"invalid clean-generation map in checkpoint: {clean!r}"
+            )
+        restored: dict[int, int] = {}
+        for device, gen in clean.items():
+            try:
+                index = int(device)
+            except (TypeError, ValueError):
+                raise CheckpointError(
+                    f"invalid clean-generation device key: {device!r}"
+                ) from None
+            if not isinstance(gen, int) or isinstance(gen, bool) or gen < 0:
+                raise CheckpointError(
+                    f"invalid clean generation for device {index}: {gen!r}"
+                )
+            restored[index] = gen
         self.now_s = float(now_s)
+        self._clean_generation = restored
         self._cache_key = None
         self._cache_array = None
 
@@ -77,6 +107,77 @@ class FaultySSDArray:
         return self.injector.lost_page_mask(
             pages, self.now_s, self.base.num_ssds
         )
+
+    def dropout_counts(self) -> np.ndarray:
+        """Per-device dropout-incident counts at the current time."""
+        return self.injector.dropout_counts(self.now_s, self.base.num_ssds)
+
+    def clean_generation(self, device: int) -> int:
+        """Highest dropout generation rebuilt clean on ``device``."""
+        if not 0 <= device < self.base.num_ssds:
+            raise FaultError(
+                f"device index {device} outside array of "
+                f"{self.base.num_ssds} SSDs"
+            )
+        return self._clean_generation.get(int(device), 0)
+
+    def mark_device_clean(self, device: int, generation: int) -> None:
+        """Record that a rebuild restored ``device`` through ``generation``.
+
+        Called by the online rebuilder once every page homed on the device
+        has been rewritten from a surviving copy; from then on the device
+        re-serves its stripe instead of holding stale pre-dropout data.
+        """
+        if not 0 <= device < self.base.num_ssds:
+            raise FaultError(
+                f"device index {device} outside array of "
+                f"{self.base.num_ssds} SSDs"
+            )
+        if generation < 0:
+            raise FaultError("clean generation must be non-negative")
+        current = self._clean_generation.get(int(device), 0)
+        self._clean_generation[int(device)] = max(current, int(generation))
+
+    def stale_device_mask(self) -> np.ndarray:
+        """Devices that recovered from a dropout but were never rebuilt.
+
+        A stale device answers reads at full speed, yet its contents
+        predate the dropout: serving them would silently hand out
+        out-of-date feature pages.  Until
+        :meth:`mark_device_clean` advances the device's clean generation
+        past its dropout count, its pages stay unavailable.
+        """
+        counts = self.dropout_counts()
+        if not counts.any():
+            return np.zeros(self.base.num_ssds, dtype=bool)
+        active, _ = self.device_states()
+        clean = np.array(
+            [
+                self._clean_generation.get(device, 0)
+                for device in range(self.base.num_ssds)
+            ],
+            dtype=np.int64,
+        )
+        return active & (counts > clean)
+
+    def stale_page_mask(self, pages: np.ndarray) -> np.ndarray:
+        """Pages homed on a recovered-but-not-yet-rebuilt device."""
+        pages = np.asarray(pages, dtype=np.int64)
+        stale = self.stale_device_mask()
+        if not stale.any():
+            return np.zeros(len(pages), dtype=bool)
+        return stale[pages % self.base.num_ssds]
+
+    def unavailable_page_mask(self, pages: np.ndarray) -> np.ndarray:
+        """Pages that cannot be served from their home device right now.
+
+        The union of *lost* pages (home device dropped out) and *stale*
+        pages (home device recovered but not yet rebuilt).  Consumers
+        without redundancy route these to the CPU-mirror fallback; the
+        storage-HA layer routes them to replicas or parity reconstruction
+        instead.
+        """
+        return self.lost_page_mask(pages) | self.stale_page_mask(pages)
 
     def effective(self) -> SSDArray:
         """The Eq. 2-3 array describing the surviving devices.

@@ -230,9 +230,27 @@ class FaultInjector:
             elif event.kind == "recovery":
                 active[event.device] = True
                 factors[event.device] = 1.0
-            else:  # slowdown
+            else:  # slowdown / fail_slow: device still answers, just slower
                 factors[event.device] = event.factor
         return active, factors
+
+    def dropout_counts(self, now_s: float, num_devices: int) -> np.ndarray:
+        """Per-device count of dropout events that have fired by ``now_s``.
+
+        This is the device's *incident generation*: a device that dropped
+        out and later recovered has a higher dropout count than the clean
+        generation recorded by :class:`~repro.faults.array.FaultySSDArray`
+        until a rebuild marks it clean again.
+        """
+        if num_devices <= 0:
+            raise ConfigError("num_devices must be positive")
+        counts = np.zeros(num_devices, dtype=np.int64)
+        for event in self._events:
+            if event.at_time_s > now_s or event.device >= num_devices:
+                continue
+            if event.kind == "dropout":
+                counts[event.device] += 1
+        return counts
 
     def lost_page_mask(
         self, pages: np.ndarray, now_s: float, num_devices: int

@@ -24,8 +24,11 @@ from dataclasses import asdict, dataclass, field
 from ..errors import ConfigError, FaultPlanError
 from .retry import RetryPolicy
 
-#: Recognised whole-device event kinds.
-DEVICE_EVENT_KINDS = ("slowdown", "dropout", "recovery")
+#: Recognised whole-device event kinds.  ``"fail_slow"`` is a gray failure:
+#: the device keeps answering but at ``factor`` times its rated latency, the
+#: signature the health monitor (:mod:`repro.storage_ha.health`) detects from
+#: EWMA service-time skew against the array median.
+DEVICE_EVENT_KINDS = ("slowdown", "dropout", "recovery", "fail_slow")
 
 #: Recognised worker-scoped (GPU) event kinds.
 WORKER_EVENT_KINDS = ("dropout", "recovery", "straggle")
@@ -50,7 +53,11 @@ class DeviceEvent:
         device: index of the SSD within the array (0-based).
         kind: ``"slowdown"`` (device serves at ``1/factor`` of its rated
             speed), ``"dropout"`` (device vanishes; its pages are lost until
-            recovery), or ``"recovery"`` (device returns at full speed).
+            recovery), ``"recovery"`` (device returns at full speed), or
+            ``"fail_slow"`` (gray failure: the device still answers every
+            request but ``factor`` times slower — indistinguishable from a
+            slowdown at the array level, but flagged for the storage-HA
+            health monitor to catch via latency-skew inference).
         at_time_s: simulated time at which the event takes effect.
         factor: slowdown factor (>= 1) for ``"slowdown"`` events.
     """

@@ -38,6 +38,7 @@ from ..sim.counters import TransferCounters
 from ..sim.gpu import GPUModel
 from ..sim.ssd import SSDArray
 from ..storage.feature_store import FeatureStore
+from ..storage_ha import make_placement
 from ..training.graphsage import (
     AGGREGATORS,
     GraphSAGE,
@@ -88,8 +89,23 @@ class FullGraphConfig:
     partition_seed: int = 0
     label_seed: int = 1
     refine_passes: int = 2
+    #: Storage redundancy for the spill/feature array: keep ``replication``
+    #: copies of every page (writes charge the extra copies) or one parity
+    #: page per ``num_ssds - 1`` data pages.  Lost spill pages are then
+    #: re-served from the surviving copy instead of recomputed.
+    replication: int = 1
+    parity: bool = False
+    #: Background rebuild budget (IOPS) — accepted for CLI symmetry; the
+    #: sweep has no idle device time, so it only gates redundancy on.
+    rebuild_iops: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ConfigError("replication factor must be >= 1")
+        if self.replication > 1 and self.parity:
+            raise ConfigError("choose replication or parity, not both")
+        if self.rebuild_iops < 0:
+            raise ConfigError("rebuild IOPS budget must be non-negative")
         if min(self.hidden_dim, self.num_classes, self.num_layers) <= 0:
             raise ConfigError("model dimensions must be positive")
         if self.aggregator not in AGGREGATORS:
@@ -196,6 +212,18 @@ class FullGraphTrainer:
         self.gpu = GPUModel(system.gpu)
         self.array = SSDArray(spec=system.ssd, num_ssds=system.num_ssds)
         self.store = FeatureStore(n, dataset.feature_dim)
+
+        # Storage redundancy (placement only — the sweep is sequential, so
+        # degraded reads are a re-serve from the surviving copy rather
+        # than a routed per-page redirect).
+        self.placement = None
+        if cfg.replication > 1 or cfg.parity or cfg.rebuild_iops > 0:
+            self.placement = make_placement(
+                system.num_ssds,
+                replication=cfg.replication,
+                parity=cfg.parity,
+                seed=cfg.partition_seed,
+            )
 
         self.hbm_budget_bytes = (
             float(cfg.hbm_budget_bytes)
@@ -335,6 +363,27 @@ class FullGraphTrainer:
         if outcome.timed_out:
             counters.retry_timeouts += 1
         if outcome.unrecovered:
+            if self.placement is not None:
+                # Redundancy holds a second copy (or parity group) of
+                # every page: the unserved pages are re-read from the
+                # surviving copy at one extra device read each instead of
+                # being recomputed from the layer below.
+                extra = (
+                    outcome.unrecovered
+                    * self.placement.reconstruct_reads_per_page
+                )
+                if self.placement.mode == "parity":
+                    counters.parity_reconstructs += outcome.unrecovered
+                else:
+                    counters.replica_redirects += outcome.unrecovered
+                counters.reconstruct_reads += extra
+                counters.storage_bytes += (
+                    extra * self.activations.page_bytes
+                )
+                return (
+                    outcome.backoff_s
+                    + (spikes + extra) * self.system.ssd.read_latency_s
+                )
             # Unserved spill pages are *recomputable*: the lost block is
             # regenerated from the layer below, accounted as fallback.
             counters.fallback_requests += outcome.unrecovered
@@ -394,14 +443,24 @@ class FullGraphTrainer:
         return t
 
     def _seq_write(self, n_bytes: int, counters: TransferCounters) -> float:
-        """Sequential spill write (posted; no verify on the write side)."""
+        """Sequential spill write (posted; no verify on the write side).
+
+        With redundancy on, every logical byte lands as
+        ``storage_overhead_factor`` physical bytes (the extra replica or
+        the amortized parity page), charged at the same streaming rate.
+        """
         if n_bytes == 0:
             return 0.0
+        physical = n_bytes
+        if self.placement is not None:
+            physical = int(
+                round(n_bytes * self.placement.storage_overhead_factor)
+            )
         pages = self.activations.pages_for(n_bytes)
         counters.storage_requests += pages
-        counters.storage_bytes += n_bytes
+        counters.storage_bytes += physical
         t = max(
-            self.array.sequential_write_time(n_bytes),
+            self.array.sequential_write_time(physical),
             n_bytes / self.system.pcie.bandwidth_bytes,
         )
         t += self._fault_extra(pages, counters)

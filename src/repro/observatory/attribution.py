@@ -356,6 +356,11 @@ def what_if_table(summary: dict, specs: dict) -> list[dict]:
       peer-cache variant (:data:`PEER_CACHE_ABSORPTION` of storage reads
       served from peer caches) — the "would another GPU help, or do I
       need another SSD?" answer.
+    * ``degraded capacity (1 SSD down)`` — the epoch re-solved with one
+      device of the array gone: the redundant prediction keeps every
+      read on storage (surviving replicas), the ``no_redundancy``
+      variant sends the dead device's striping share to the CPU mirror;
+      their gap is what the redundancy overhead buys during an outage.
     """
     validate_summary(summary)
     _validate_specs(specs)
@@ -610,6 +615,64 @@ def what_if_table(summary: dict, specs: dict) -> list[dict]:
                 ),
                 "peer_cache_speedup_vs_1gpu": _finite(
                     base_e2e / peer_e2e_n if peer_e2e_n > 0 else None
+                ),
+            }
+        )
+
+    # Degraded-capacity row: one device of the array down mid-run.  With
+    # redundancy every read is still storage-served off the surviving
+    # n-1 devices (replica redirects); without it the dead device's share
+    # of reads (1/n of pages, the striping share) falls back to the CPU
+    # mirror path.  The gap between the two predictions is what the
+    # redundancy overhead buys.
+    if num_ssds >= 2:
+        degraded_array = _ssd_array(specs, num_ssds - 1)
+        redundant_pred = predict(
+            degraded_array, pages, storage_bytes, cpu_bytes
+        )
+        lost_share = 1.0 / num_ssds
+        lost_pages = pages * lost_share
+        bare_pred = predict(
+            degraded_array,
+            pages - lost_pages,
+            storage_bytes - lost_pages * page_bytes,
+            cpu_bytes + lost_pages * page_bytes,
+        )
+
+        def degraded_e2e(pred: float) -> float:
+            ratio = pred / base_pred if base_pred > 0 else 1.0
+            return _combine_e2e(
+                sampling_s + agg_s * ratio + transfer_s,
+                train_s,
+                overlapped,
+            )
+
+        redundant_e2e = degraded_e2e(redundant_pred)
+        bare_e2e = degraded_e2e(bare_pred)
+        delta = redundant_e2e - base_e2e
+        table.append(
+            {
+                "scenario": "degraded capacity (1 SSD down)",
+                "description": (
+                    f"one of {num_ssds} devices down: with redundancy "
+                    "reads redirect to surviving replicas "
+                    f"({num_ssds - 1} devices); without it the dead "
+                    f"device's {lost_share:.0%} of reads fall back to "
+                    "the CPU mirror"
+                ),
+                "predicted_aggregation_seconds": _finite(
+                    agg_s * (redundant_pred / base_pred)
+                    if base_pred > 0
+                    else agg_s
+                ),
+                "predicted_e2e_seconds": _finite(redundant_e2e),
+                "delta_seconds": _finite(delta),
+                "delta_fraction": _finite(
+                    delta / base_e2e if base_e2e > 0 else 0.0
+                ),
+                "no_redundancy_e2e_seconds": _finite(bare_e2e),
+                "redundancy_benefit_seconds": _finite(
+                    bare_e2e - redundant_e2e
                 ),
             }
         )

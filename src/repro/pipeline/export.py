@@ -40,7 +40,13 @@ from .metrics import STAGES, RunReport
 #:     memory plan, partition edge-cut stats, per-class spill/reload
 #:     traffic, epoch loss/accuracy trajectories, 2x-HBM what-if) and the
 #:     ``2x HBM`` row of the attribution what-if table for such runs.
-EXPORT_SCHEMA_VERSION = 9
+#: v10: added the storage-HA counters (``replica_redirects``,
+#:     ``parity_reconstructs``, ``reconstruct_reads``, ``rebuild_pages``)
+#:     to the ``faults`` block, the optional ``storage_ha`` block
+#:     (placement mode, device health states and transitions, rebuild
+#:     progress from :meth:`~repro.storage_ha.StorageHA.summary_block`),
+#:     and the degraded-capacity rows of the attribution what-if table.
+EXPORT_SCHEMA_VERSION = 10
 
 
 def _finite(value: float) -> float | None:
@@ -67,6 +73,7 @@ def report_to_dict(
     serving: "dict | None" = None,
     fleet: "dict | None" = None,
     fullgraph: "dict | None" = None,
+    storage_ha: "dict | None" = None,
 ) -> dict:
     """Flatten a run report into a JSON-serializable summary dict.
 
@@ -102,6 +109,11 @@ def report_to_dict(
             (partition-sweep runs: memory plan, edge-cut stats,
             spill/reload traffic, epoch trajectories, 2x-HBM what-if);
             ``None`` (mini-batch runs) exports the block as ``None``.
+        storage_ha: optional ``storage_ha`` block from
+            :meth:`~repro.storage_ha.StorageHA.summary_block` (redundant
+            runs: placement mode, device health states/transitions,
+            rebuild progress); ``None`` (no redundancy) exports the
+            block as ``None``.
     """
     # Local import: the observatory analyzes the dicts this module emits,
     # so the reverse dependency stays off the module level.
@@ -145,6 +157,10 @@ def report_to_dict(
             "fallback_bytes": counters.fallback_bytes,
             "fallback_fraction": _finite(counters.fallback_fraction),
             "retry_timeouts": counters.retry_timeouts,
+            "replica_redirects": counters.replica_redirects,
+            "parity_reconstructs": counters.parity_reconstructs,
+            "reconstruct_reads": counters.reconstruct_reads,
+            "rebuild_pages": counters.rebuild_pages,
         },
         "integrity_summary": report.integrity_summary(),
         "gpu_cache_hit_ratio": _finite(report.gpu_cache_hit_ratio),
@@ -161,6 +177,7 @@ def report_to_dict(
         "serving": serving,
         "fleet": fleet,
         "fullgraph": fullgraph,
+        "storage_ha": storage_ha,
     }
     if system is not None:
         summary["attribution"] = attribute_summary(
@@ -179,6 +196,7 @@ def report_to_json(
     alerts: "dict | None" = None,
     fleet: "dict | None" = None,
     fullgraph: "dict | None" = None,
+    storage_ha: "dict | None" = None,
 ) -> str:
     """JSON rendering of :func:`report_to_dict`.
 
@@ -195,6 +213,7 @@ def report_to_json(
             alerts=alerts,
             fleet=fleet,
             fullgraph=fullgraph,
+            storage_ha=storage_ha,
         ),
         indent=indent,
         sort_keys=True,

@@ -182,6 +182,10 @@ class RunReport:
             "fallback_bytes": counters.fallback_bytes,
             "fallback_fraction": counters.fallback_fraction,
             "retry_timeouts": counters.retry_timeouts,
+            "replica_redirects": counters.replica_redirects,
+            "parity_reconstructs": counters.parity_reconstructs,
+            "reconstruct_reads": counters.reconstruct_reads,
+            "rebuild_pages": counters.rebuild_pages,
         }
 
     def integrity_summary(self) -> dict[str, float]:

@@ -239,7 +239,9 @@ class ServingReport:
             },
         }
 
-    def export_dict(self, *, tracer=None, system=None, alerts=None) -> dict:
+    def export_dict(
+        self, *, tracer=None, system=None, alerts=None, storage_ha=None
+    ) -> dict:
         """Full versioned run-report document for this serving run.
 
         Shaped like :func:`repro.pipeline.export.report_to_dict` output —
@@ -293,6 +295,10 @@ class ServingReport:
                 "fallback_bytes": counters.fallback_bytes,
                 "fallback_fraction": _finite(counters.fallback_fraction),
                 "retry_timeouts": counters.retry_timeouts,
+                "replica_redirects": counters.replica_redirects,
+                "parity_reconstructs": counters.parity_reconstructs,
+                "reconstruct_reads": counters.reconstruct_reads,
+                "rebuild_pages": counters.rebuild_pages,
             },
             "gpu_cache_hit_ratio": _finite(counters.gpu_cache_hit_ratio),
             "redirect_fraction": _finite(counters.redirect_fraction),
@@ -301,6 +307,7 @@ class ServingReport:
             "attribution": None,
             "alerts": alerts,
             "serving": self.to_dict(),
+            "storage_ha": storage_ha,
         }
         if system is not None:
             summary["attribution"] = attribute_summary(

@@ -44,6 +44,7 @@ from ..sim.gpu import GPUModel
 from ..sim.pcie import PCIeLink
 from ..sim.ssd import SSDArray
 from ..storage.feature_store import FeatureStore
+from ..storage_ha import StorageHA
 from ..telemetry import Tracer
 from ..telemetry.metrics import Histogram, MetricsRegistry
 from ..utils import as_rng
@@ -89,6 +90,11 @@ class InferenceServer:
             process and fault injector each keep their own stream).
         fault_plan: optional fault scenario shared with the training path.
         retry_policy: overrides the plan's embedded retry policy.
+        replication: copies of each feature page across the array (>= 2
+            lets reads behind a dead device or an open breaker redirect
+            to a surviving replica instead of the CPU mirror).
+        parity: k+1 parity-group redundancy instead of replication.
+        rebuild_iops: background IOPS budget for the online rebuilder.
         tracer: optional telemetry tracer; breaker and brownout
             transitions become instants, and (at ``request`` detail) each
             served request records a span on the ``serving`` track.
@@ -112,6 +118,9 @@ class InferenceServer:
         seed: int | np.random.Generator | None = 0,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        replication: int = 1,
+        parity: bool = False,
+        rebuild_iops: float = 0.0,
         tracer: Tracer | None = None,
         monitor=None,
     ) -> None:
@@ -145,6 +154,20 @@ class InferenceServer:
                     system.pcie,
                     degradation_factor=fault_plan.pcie_degradation_factor,
                 )
+
+        # Storage HA: same pay-for-what-you-use gating as the loader.
+        self.storage_ha: StorageHA | None = None
+        if replication > 1 or parity or rebuild_iops > 0:
+            self.storage_ha = StorageHA(
+                num_devices=system.num_ssds,
+                base_latency_s=system.ssd.read_latency_s,
+                replication=replication,
+                parity=parity,
+                rebuild_iops=rebuild_iops,
+                total_pages=self.store.layout.total_pages,
+                fault_array=self.fault_array,
+                tracer=tracer,
+            )
 
         cache_lines = int(
             self.config.gpu_cache_bytes // self.layout.page_bytes
@@ -433,36 +456,67 @@ class InferenceServer:
         if self.faults is not None:
             self.fault_array.advance_to(start_s)
             active, _ = self.faults.device_states(start_s, num_ssds)
+            stale = self.fault_array.stale_device_mask()
         else:
             active = np.ones(num_ssds, dtype=bool)
+            stale = np.zeros(num_ssds, dtype=bool)
+        if self.storage_ha is not None:
+            self.storage_ha.advance(start_s)
 
         n_storage = 0
         n_fallback = 0
+        extra_reads = 0
         timeout_s = 0.0
+
+        def reroute(pages_subset: np.ndarray, device: int) -> None:
+            """Send pages away from ``device``: replica first, mirror last."""
+            nonlocal n_storage, n_fallback, extra_reads
+            if self.storage_ha is None or len(pages_subset) == 0:
+                n_fallback += len(pages_subset)
+                return
+            avoid = ~(active & ~stale)
+            avoid[device] = True
+            out = self.storage_ha.redirect(pages_subset, avoid=avoid)
+            n_storage += out.n_storage
+            extra_reads += out.extra_service_reads
+            counters.replica_redirects += out.n_replica
+            counters.parity_reconstructs += out.n_reconstruct
+            counters.reconstruct_reads += out.reconstruct_reads
+            n_fallback += out.n_lost
+
         for device in np.unique(devices):
             device = int(device)
-            n_dev = int((devices == device).sum())
+            dev_pages = miss_pages[devices == device]
+            n_dev = len(dev_pages)
             breaker = (
                 self.breakers[device] if self.breakers is not None else None
             )
             if breaker is not None and not breaker.allows_storage(
                 start_s, self.tracer
             ):
-                # Open breaker: immediate reroute to the CPU mirror.
-                n_fallback += n_dev
+                # Open breaker: reroute — to a surviving replica when
+                # redundancy exists, to the CPU mirror otherwise.
+                reroute(dev_pages, device)
                 continue
             n_probe = n_dev
             if breaker is not None and breaker.state == HALF_OPEN:
                 # Half-open: only probe traffic touches the device.
                 n_probe = min(n_dev, self.serving.breaker_probes)
-                n_fallback += n_dev - n_probe
+                reroute(dev_pages[n_probe:], device)
             if not active[device]:
                 # Dead device discovered the hard way: the probe times
-                # out, then falls back.
+                # out, then reroutes.
                 timeout_s += self.serving.device_timeout_s
-                n_fallback += n_probe
+                reroute(dev_pages[:n_probe], device)
                 if breaker is not None:
                     breaker.record(0, n_probe, start_s, self.tracer)
+            elif stale[device]:
+                # The device answers (no breaker failure) but its pages
+                # predate its dropout; serve them from a copy until the
+                # rebuilder marks the device clean.
+                reroute(dev_pages[:n_probe], device)
+                if breaker is not None:
+                    breaker.record(n_probe, 0, start_s, self.tracer)
             else:
                 n_storage += n_probe
                 if breaker is not None:
@@ -491,16 +545,26 @@ class InferenceServer:
                     counters.latency_spikes += n_spiked
             n_served = n_storage - unrecovered
             n_fallback += unrecovered
-            base = array.batch_service_time(n_served + retries)
+            base = array.batch_service_time(n_served + retries + extra_reads)
             latency += base + backoff_s + spike_extra
             counters.storage_requests += n_served
-            counters.storage_bytes += n_served * self.layout.page_bytes
+            counters.storage_bytes += (
+                n_served + extra_reads
+            ) * self.layout.page_bytes
 
         if self.hedge is not None and n_storage:
             latency = self.hedge.maybe_hedge(latency, base)
 
         counters.fallback_requests += n_fallback
         counters.fallback_bytes += n_fallback * self.layout.page_bytes
+        if self.storage_ha is not None:
+            # Rebuild rides the idle IOPS left behind by this request's
+            # storage window — no modeled-time cost, traffic only.
+            sweep = self.storage_ha.background_sweep(
+                latency, start_s + latency
+            )
+            if sweep is not None and sweep.pages_rebuilt:
+                counters.rebuild_pages += sweep.pages_rebuilt
         return latency
 
     # ------------------------------------------------------------------
@@ -614,6 +678,9 @@ class InferenceServer:
             "fault_array": (
                 self.fault_array.state_dict() if self.fault_array else None
             ),
+            "storage_ha": (
+                self.storage_ha.state_dict() if self.storage_ha else None
+            ),
         }
         if self.tracer is None:
             state["registry"] = self.registry.state_dict()
@@ -627,7 +694,7 @@ class InferenceServer:
             "latencies", "latency_priorities", "deadline_flags",
             "latency_hist", "stage_seconds", "degraded_requests",
             "stale_requests", "stale_pages", "breakers", "hedge",
-            "brownout", "faults", "fault_array",
+            "brownout", "faults", "fault_array", "storage_ha",
         }
         missing = required - set(state)
         if missing:
@@ -667,6 +734,7 @@ class InferenceServer:
             (self.brownout, "brownout"),
             (self.faults, "faults"),
             (self.fault_array, "fault_array"),
+            (self.storage_ha, "storage_ha"),
         ):
             snapshot = state[key]
             if (attr is None) != (snapshot is None):

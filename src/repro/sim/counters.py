@@ -31,6 +31,14 @@ class TransferCounters:
     digest mismatches and their outcomes, ``integrity_rereads`` the repair
     re-reads issued (each occupies device service like a fresh command),
     and ``scrubbed_pages`` the pages inspected by the background scrub.
+
+    The storage-HA fields stay zero unless replication/parity is on:
+    ``replica_redirects`` counts degraded-mode reads served by a surviving
+    replica instead of the CPU mirror, ``parity_reconstructs`` the pages
+    rebuilt inline from their parity group, ``reconstruct_reads`` the
+    member reads those reconstructions issued (``k`` per page — each
+    occupies device service like a fresh command), and ``rebuild_pages``
+    the pages the online rebuilder rewrote on its background IOPS budget.
     """
 
     storage_requests: int = 0
@@ -54,6 +62,10 @@ class TransferCounters:
     corrupt_quarantined: int = 0
     integrity_rereads: int = 0
     scrubbed_pages: int = 0
+    replica_redirects: int = 0
+    parity_reconstructs: int = 0
+    reconstruct_reads: int = 0
+    rebuild_pages: int = 0
 
     @property
     def total_requests(self) -> int:

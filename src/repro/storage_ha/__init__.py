@@ -1,0 +1,28 @@
+"""Highly-available storage over the multi-SSD array (robustness layer).
+
+Replicated or parity-protected page placement, fail-slow health
+detection, degraded-mode read routing, and budgeted online rebuild —
+see :doc:`docs/STORAGE_HA` for the model and economics.
+"""
+
+from .health import HA_TRACK, HEALTH_STATES, DeviceHealthMonitor
+from .ha import HARouteOutcome, StorageHA
+from .placement import (
+    ParityPlacement,
+    ReplicatedPlacement,
+    make_placement,
+)
+from .rebuild import Rebuilder, RebuildSweepOutcome
+
+__all__ = [
+    "HA_TRACK",
+    "HEALTH_STATES",
+    "DeviceHealthMonitor",
+    "HARouteOutcome",
+    "StorageHA",
+    "ParityPlacement",
+    "ReplicatedPlacement",
+    "make_placement",
+    "Rebuilder",
+    "RebuildSweepOutcome",
+]

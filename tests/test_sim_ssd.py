@@ -192,6 +192,49 @@ class TestSequentialPath:
             == read_only.seq_read_bandwidth
         )
 
+    def test_write_time_uses_spec_fallback_chain(self):
+        """A spec with no sequential ratings still prices writes —
+        degrading through read rating to the random-read ceiling."""
+        import dataclasses
+
+        bare = dataclasses.replace(
+            INTEL_OPTANE,
+            seq_read_bandwidth=None,
+            seq_write_bandwidth=None,
+        )
+        arr = SSDArray(bare)
+        n_bytes = 64 * 2**20
+        expected = (
+            arr.t_init_extra_s
+            + n_bytes / bare.peak_bandwidth
+            + arr.t_term_s
+        )
+        assert arr.sequential_write_time(n_bytes) == pytest.approx(expected)
+        # Write-only gap: the array's write path runs at the read rating.
+        read_only = dataclasses.replace(
+            INTEL_OPTANE, seq_write_bandwidth=None
+        )
+        arr_ro = SSDArray(read_only)
+        assert arr_ro.seq_write_bandwidth == arr_ro.seq_read_bandwidth
+        assert arr_ro.sequential_write_time(n_bytes) == pytest.approx(
+            arr_ro.t_init_extra_s
+            + n_bytes / read_only.seq_read_bandwidth
+            + arr_ro.t_term_s
+        )
+
+    def test_array_width_scales_write_bandwidth(self):
+        one = SSDArray(SAMSUNG_980PRO, num_ssds=1)
+        four = SSDArray(SAMSUNG_980PRO, num_ssds=4)
+        assert four.seq_write_bandwidth == 4 * one.seq_write_bandwidth
+        big = 2**30
+        assert four.sequential_write_time(big) < one.sequential_write_time(
+            big
+        )
+        # The fixed phases do not scale: the speedup is sub-linear.
+        assert four.sequential_write_time(big) > (
+            one.sequential_write_time(big) / 4
+        )
+
     def test_zero_and_negative_bytes(self):
         arr = SSDArray(SAMSUNG_980PRO)
         assert arr.sequential_read_time(0) == 0.0
