@@ -123,6 +123,9 @@ class RunSupervisor:
         config: lifecycle knobs.
         summary: optional pre-existing summary to accumulate into (so a
             CLI can thread one summary through several phases).
+        blackbox_path: optional path; when the run dies on a fault and the
+            pipeline's tracer carries a flight recorder, the recorder is
+            dumped there (crash noted last) before the restart logic runs.
 
     Crash events come from the pipeline loader's fault plan
     (``crash_events``); they are one-shot — the supervisor, which survives
@@ -136,6 +139,7 @@ class RunSupervisor:
         *,
         config: SupervisorConfig | None = None,
         summary: CheckpointSummary | None = None,
+        blackbox_path: str | None = None,
     ) -> None:
         self.pipeline_factory = pipeline_factory
         self.config = config if config is not None else SupervisorConfig()
@@ -146,6 +150,7 @@ class RunSupervisor:
                 checkpoint_dir, keep=self.config.keep_snapshots
             )
         self.summary = summary if summary is not None else CheckpointSummary()
+        self.blackbox_path = blackbox_path
         self._fired_crashes: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -223,6 +228,7 @@ class RunSupervisor:
             except FaultError as exc:
                 if isinstance(exc, RestartLimitError):
                     raise
+                self._dump_blackbox(pipeline, exc)
                 attempt += 1
                 if attempt > config.max_restarts:
                     raise RestartLimitError(
@@ -240,6 +246,33 @@ class RunSupervisor:
                 report=pipeline.report,
                 summary=self.summary,
             )
+
+    def _dump_blackbox(self, pipeline: TrainingPipeline, exc: Exception) -> None:
+        """Dump the flight recorder on a fatal fault, crash noted last."""
+        if self.blackbox_path is None:
+            return
+        tracer = getattr(pipeline.loader, "tracer", None)
+        flight = getattr(tracer, "flight", None)
+        if flight is None:
+            return
+        now = self._loader_now(pipeline)
+        at_s = now if now is not None else 0.0
+        flight.note(
+            "crash",
+            type(exc).__name__,
+            "alerts",
+            at_s,
+            detail={"message": str(exc)},
+        )
+        flight.dump(
+            self.blackbox_path,
+            trigger=f"{type(exc).__name__}: {exc}",
+            at_s=at_s,
+            context={
+                "completed_steps": int(pipeline.completed_steps),
+                "restarts_so_far": self.summary.restarts,
+            },
+        )
 
     @staticmethod
     def _loader_now(pipeline: TrainingPipeline) -> float | None:

@@ -16,8 +16,16 @@ Commands:
   drives per-request sample→fetch→aggregate through admission control,
   priority load shedding, per-device circuit breakers, hedged reads and
   brownout degradation (``--no-protection`` disables all five layers;
-  ``-o out.json`` writes the schema-v8 serving export).
-* ``trace`` — render a saved Chrome-trace JSON as an ASCII timeline.
+  ``-o out.json`` writes the schema-v11 serving export).
+* ``trace`` — render a saved Chrome-trace JSON as an ASCII timeline;
+  ``--request <id>`` renders one request's causal chain instead
+  (``--request list`` enumerates the stamped trace ids).
+* ``top`` — render the latest line of a ``--stream`` snapshot JSONL as
+  a terminal frame, busiest counters first (``--follow`` to keep
+  refreshing).
+* ``profile`` — run a bench experiment under the simulator
+  self-profiler and report wall-clock seconds per modeled subsystem vs
+  modeled time (ROADMAP item 4; feeds ``BENCH_sim_overhead.json``).
 * ``ssd-model`` — print the Eq. 2-3 bandwidth model for an SSD.
 * ``scrub`` — sweep a workload's feature pages against their digests,
   repairing storm-poisoned pages from the ground-truth store.
@@ -53,6 +61,15 @@ declarative SLO rules against the finished run (fired rules print to
 stderr, land in the JSON export's ``alerts`` block and — when tracing —
 as instants on the ``alerts`` track).  ``repro --version`` prints the
 package version.
+
+The mission-control flags ride every workload command (``run``,
+``train``, ``serve``, ``fleet``, ``fullgraph``): ``--trace-cap N``
+bounds recorded events (drops are counted in
+``telemetry.dropped_events``), ``--stream snap.jsonl`` /
+``--prom metrics.prom`` / ``--snapshot-every S`` emit live modeled-time
+metric snapshots, and ``--blackbox box.json`` dumps the flight
+recorder's recent-event ring on a simulated crash, a fired SLO rule, or
+a violated fleet invariant.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -130,6 +147,47 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
         help="trace granularity: per-iteration stage spans only, or also "
         "per-resource spans and instant events (default: stage)",
     )
+    parser.add_argument(
+        "--trace-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on recorded spans + instants (default: 200000); events "
+        "past the cap are dropped and counted in the "
+        "'telemetry.dropped_events' metric",
+    )
+
+
+def _add_stream_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stream",
+        metavar="JSONL_PATH",
+        default=None,
+        help="stream periodic modeled-time metric snapshots to this JSONL "
+        "file during the run (view live with 'repro top')",
+    )
+    parser.add_argument(
+        "--prom",
+        metavar="PROM_PATH",
+        default=None,
+        help="keep a Prometheus text-exposition rendering of the metrics "
+        "registry up to date in this file during the run",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="modeled seconds between metric snapshots (default: 0.05)",
+    )
+    parser.add_argument(
+        "--blackbox",
+        metavar="JSON_PATH",
+        default=None,
+        help="arm the black-box flight recorder: keep a bounded ring of "
+        "recent telemetry and dump it to this file on a simulated crash, "
+        "an SLO breach, or an invariant violation",
+    )
 
 
 def _add_integrity_args(parser: argparse.ArgumentParser) -> None:
@@ -163,13 +221,89 @@ def _load_fault_plan(path: str):
         raise SystemExit(2)
 
 
+def _wants_telemetry(args: argparse.Namespace) -> bool:
+    """True when any tracing/streaming/flight-recorder flag is set."""
+    return any(
+        getattr(args, flag, None) is not None
+        for flag in ("trace", "stream", "prom", "blackbox")
+    )
+
+
 def _make_tracer(args: argparse.Namespace):
-    """Build the tracer behind ``--trace``, or ``None`` when not tracing."""
-    if getattr(args, "trace", None) is None:
+    """Build the tracer behind ``--trace``/``--stream``/``--prom``/
+    ``--blackbox``, or ``None`` when no telemetry surface is requested.
+
+    Streaming and the flight recorder ride the tracer's metrics registry
+    and event feed, so any of the four flags brings the tracer up; only
+    ``--trace`` additionally writes the Chrome trace file at run end.
+    """
+    if not _wants_telemetry(args):
         return None
     from .telemetry import Tracer
 
-    return Tracer(enabled=True, detail=args.trace_detail)
+    kwargs = {}
+    cap = getattr(args, "trace_cap", None)
+    if cap is not None:
+        kwargs["max_events"] = cap
+    return Tracer(
+        enabled=True,
+        detail=args.trace_detail,
+        strict_tracks=True,
+        **kwargs,
+    )
+
+
+def _make_flight(args: argparse.Namespace, tracer):
+    """Arm the flight recorder behind ``--blackbox`` (needs a tracer)."""
+    if tracer is None or getattr(args, "blackbox", None) is None:
+        return None
+    from .telemetry import FlightRecorder
+
+    flight = FlightRecorder()
+    tracer.attach_flight(flight)
+    return flight
+
+
+def _make_snapshotter(args: argparse.Namespace, tracer, source, flight=None):
+    """Build the live-metrics snapshotter behind ``--stream``/``--prom``."""
+    stream = getattr(args, "stream", None)
+    prom = getattr(args, "prom", None)
+    if tracer is None or (stream is None and prom is None):
+        return None
+    if args.snapshot_every <= 0:
+        print("error: --snapshot-every must be positive", file=sys.stderr)
+        raise SystemExit(2)
+    from .telemetry import MetricsSnapshotter
+
+    return MetricsSnapshotter(
+        tracer.metrics,
+        every_s=args.snapshot_every,
+        jsonl_path=stream,
+        prom_path=prom,
+        source=source,
+        flight=flight,
+    )
+
+
+def _finish_snapshots(snapshotter, tracer) -> None:
+    """Take one final snapshot so the stream reflects the finished run."""
+    if snapshotter is not None and tracer is not None:
+        last = snapshotter.last_taken_s
+        snapshotter.take(max(tracer.clock_s, last if last is not None else 0.0))
+
+
+def _breach_blackbox(args, flight, alerts_block, at_s: float) -> None:
+    """Dump the flight recorder when SLO rules fired (``--blackbox``)."""
+    if flight is None or alerts_block is None or alerts_block["ok"]:
+        return
+    names = [f["name"] for f in alerts_block["fired"]]
+    flight.dump(
+        args.blackbox,
+        trigger=f"slo breach: {', '.join(names)}",
+        at_s=at_s,
+        context={"fired_rules": names},
+    )
+    print(f"wrote flight-recorder dump to {args.blackbox}", file=sys.stderr)
 
 
 def _write_trace(tracer, path: str) -> None:
@@ -368,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_checkpoint_args(run)
     _add_trace_args(run)
+    _add_stream_args(run)
     _add_integrity_args(run)
     _add_ha_args(run)
     _add_alerts_arg(run)
@@ -391,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_checkpoint_args(train)
     _add_trace_args(train)
+    _add_stream_args(train)
     _add_integrity_args(train)
     _add_ha_args(train)
     _add_alerts_arg(train)
@@ -429,12 +565,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep the chaos scenarios (dropout, straggler, storm...) "
         "and assert the fleet invariants instead of one epoch",
     )
+    _add_trace_args(fleet)
+    _add_stream_args(fleet)
     _add_ha_args(fleet)
     fleet.add_argument("--format", choices=["table", "json"],
                        default="table")
     fleet.add_argument(
         "-o", "--output", metavar="JSON_PATH", default=None,
-        help="also write the schema-v10 run export (with the fleet block) "
+        help="also write the schema-v11 run export (with the fleet block) "
         "to this file",
     )
 
@@ -489,6 +627,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_checkpoint_args(fullgraph)
     _add_trace_args(fullgraph)
+    _add_stream_args(fullgraph)
     fullgraph.add_argument(
         "--verify-reads", choices=["off", "sample", "full"], default="off",
         help="verify reloaded spill pages against their digests: 'off' "
@@ -499,7 +638,7 @@ def build_parser() -> argparse.ArgumentParser:
                            default="table")
     fullgraph.add_argument(
         "-o", "--output", metavar="JSON_PATH", default=None,
-        help="also write the schema-v10 run export (with the fullgraph "
+        help="also write the schema-v11 run export (with the fullgraph "
         "block) to this file",
     )
 
@@ -548,9 +687,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="table")
     serve.add_argument(
         "-o", "--output", metavar="JSON_PATH", default=None,
-        help="also write the schema-v10 serving export to this file",
+        help="also write the schema-v11 serving export to this file",
     )
     _add_trace_args(serve)
+    _add_stream_args(serve)
     _add_alerts_arg(serve)
 
     scrub = sub.add_parser(
@@ -643,6 +783,62 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a machine-readable summary (per-track seconds, event "
         "counts, metrics) instead of the ASCII timeline",
+    )
+    trace.add_argument(
+        "--request",
+        metavar="TRACE_ID",
+        default=None,
+        help="render one causal chain (e.g. req-000042) from a trace "
+        "recorded with --trace-detail request; pass 'list' to enumerate "
+        "the trace ids present",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="terminal view of a live metric-snapshot stream (--stream)",
+    )
+    top.add_argument("path", help="snapshot JSONL written by --stream")
+    top.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling the file for new snapshots until interrupted",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="wall-clock poll interval with --follow (default: 1.0)",
+    )
+    top.add_argument(
+        "--metrics",
+        type=int,
+        default=12,
+        metavar="N",
+        help="show the N busiest counters/gauges (default: 12)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="self-profile the simulator: wall-clock overhead vs modeled "
+        "time per subsystem",
+    )
+    profile.add_argument(
+        "--experiment",
+        choices=sorted(_EXPERIMENTS),
+        default="fig13",
+        help="bench experiment to profile (default: fig13, the e2e "
+        "980 Pro comparison)",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="print the profile document as JSON instead of the table",
+    )
+    profile.add_argument(
+        "-o", "--output", metavar="JSON_PATH", default=None,
+        help="also write the profile document to this file (e.g. "
+        "BENCH_sim_overhead.json)",
     )
 
     ssd = sub.add_parser("ssd-model", help="Eq. 2-3 bandwidth model")
@@ -821,7 +1017,12 @@ def _make_supervisor(args: argparse.Namespace, pipeline_factory):
 
             for iteration in stale:
                 os.unlink(store.path_for(iteration))
-    return RunSupervisor(pipeline_factory, store, config=config)
+    return RunSupervisor(
+        pipeline_factory,
+        store,
+        config=config,
+        blackbox_path=getattr(args, "blackbox", None),
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -856,19 +1057,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.alerts is not None:
         alert_rules = _load_alert_rules(args.alerts)
 
-    if args.trace is not None and args.loader not in ("gids", "bam"):
+    if _wants_telemetry(args) and args.loader not in ("gids", "bam"):
         print(
-            "error: --trace requires --loader gids or bam (the baseline "
-            "loaders are not instrumented)",
+            "error: --trace/--stream/--prom/--blackbox require --loader "
+            "gids or bam (the baseline loaders are not instrumented)",
             file=sys.stderr,
         )
         return 2
     tracer = _make_tracer(args)
+    flight = _make_flight(args, tracer)
+    snapshotter = _make_snapshotter(args, tracer, "run", flight=flight)
 
     if args.checkpoint_dir is not None:
         return _cmd_run_supervised(
             args, workload, system, config, common, fault_plan, tracer,
-            alert_rules,
+            alert_rules, flight=flight, snapshotter=snapshotter,
         )
 
     heterogeneous = workload.dataset.hetero is not None
@@ -889,6 +1092,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 hot_nodes=workload.hot_nodes, fault_plan=fault_plan,
                 tracer=tracer, **integrity, **ha, **common,
             )
+            loader.snapshotter = snapshotter
             reports.append(loader.run(args.iterations, warmup=10))
             ha_blocks.append(
                 loader.storage_ha.summary_block()
@@ -900,6 +1104,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 workload.dataset, system, config, fault_plan=fault_plan,
                 tracer=tracer, **integrity, **ha, **common,
             )
+            loader.snapshotter = snapshotter
             reports.append(loader.run(args.iterations, warmup=10))
             ha_blocks.append(
                 loader.storage_ha.summary_block()
@@ -942,17 +1147,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         alerts_blocks = [monitor.evaluate(r) for r in reports]
         for report, block in zip(reports, alerts_blocks):
             _print_alerts(report.loader_name, block)
-    if tracer is not None:
+    _finish_snapshots(snapshotter, tracer)
+    if tracer is not None and alerts_blocks and flight is not None:
+        _breach_blackbox(args, flight, alerts_blocks[0], tracer.clock_s)
+    if tracer is not None and args.trace is not None:
         _write_trace(tracer, args.trace)
     if args.format == "json":
+        from .pipeline.export import observability_block
+
         # --trace implies a single traced loader, so the tracer (when
         # present) belongs to the one report in the list.
+        obs = observability_block(
+            tracer=tracer, snapshotter=snapshotter, flight=flight
+        )
         print(
             "["
             + ",\n".join(
                 report_to_json(
                     r, tracer=tracer, system=system, alerts=block,
-                    storage_ha=ha_block,
+                    storage_ha=ha_block, observability=obs,
                 )
                 for r, block, ha_block in zip(
                     reports, alerts_blocks, ha_blocks
@@ -987,7 +1200,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_supervised(
     args, workload, system, config, common, fault_plan, tracer=None,
-    alert_rules=None,
+    alert_rules=None, flight=None, snapshotter=None,
 ) -> int:
     """``run --checkpoint-dir``: crash-safe supervised functional training.
 
@@ -1025,6 +1238,7 @@ def _cmd_run_supervised(
             verify_reads=args.verify_reads, scrub_iops=args.scrub_iops,
             **_ha_kwargs(args), **kwargs,
         )
+        loader.snapshotter = snapshotter
         model = GraphSAGE(
             workload.dataset.feature_dim, 32, 8, num_layers=len(
                 workload.fanouts
@@ -1042,14 +1256,22 @@ def _cmd_run_supervised(
         monitor = SLOMonitor(alert_rules, tracer=tracer)
         alerts_block = monitor.evaluate(outcome.report)
         _print_alerts(outcome.report.loader_name, alerts_block)
+    _finish_snapshots(snapshotter, tracer)
     if tracer is not None:
+        _breach_blackbox(args, flight, alerts_block, tracer.clock_s)
+    if tracer is not None and args.trace is not None:
         _write_trace(tracer, args.trace)
 
     if args.format == "json":
+        from .pipeline.export import observability_block
+
         print(
             report_to_json(
                 outcome.report, checkpoint_summary=summary, tracer=tracer,
                 system=system, alerts=alerts_block,
+                observability=observability_block(
+                    tracer=tracer, snapshotter=snapshotter, flight=flight
+                ),
             )
         )
     else:
@@ -1107,6 +1329,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.alerts is not None:
         alert_rules = _load_alert_rules(args.alerts)
     tracer = _make_tracer(args)
+    flight = _make_flight(args, tracer)
+    snapshotter = _make_snapshotter(args, tracer, "train", flight=flight)
 
     def pipeline_factory() -> TrainingPipeline:
         loader = GIDSDataLoader(
@@ -1115,6 +1339,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             verify_reads=args.verify_reads, scrub_iops=args.scrub_iops,
             **_ha_kwargs(args),
         )
+        loader.snapshotter = snapshotter
         model = GraphSAGE(
             dataset.feature_dim, args.hidden_dim, args.classes,
             num_layers=2, lr=0.05, seed=0,
@@ -1136,8 +1361,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         from .observatory import SLOMonitor
 
         monitor = SLOMonitor(alert_rules, tracer=tracer)
-        _print_alerts(report.loader_name, monitor.evaluate(report))
-    if tracer is not None:
+        alerts_block = monitor.evaluate(report)
+        _print_alerts(report.loader_name, alerts_block)
+        if tracer is not None:
+            _breach_blackbox(args, flight, alerts_block, tracer.clock_s)
+    _finish_snapshots(snapshotter, tracer)
+    if tracer is not None and args.trace is not None:
         _write_trace(tracer, args.trace)
     first = sum(result.losses[:5]) / 5
     last = sum(result.losses[-5:]) / 5
@@ -1183,6 +1412,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     fault_plan = None
     if args.fault_plan is not None:
         fault_plan = _load_fault_plan(args.fault_plan)
+    tracer = _make_tracer(args)
+    flight = _make_flight(args, tracer)
+    snapshotter = _make_snapshotter(args, tracer, "fleet", flight=flight)
 
     if args.chaos:
         if fault_plan is not None:
@@ -1244,20 +1476,42 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             seed=args.seed,
             fault_plan=fault_plan,
             fanouts=workload.fanouts,
+            tracer=tracer,
             **_ha_kwargs(args),
         )
+        trainer.snapshotter = snapshotter
         result = trainer.run_epoch()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     violations = check_invariants(dataset, result)
+    _finish_snapshots(snapshotter, tracer)
+    if violations and flight is not None:
+        flight.dump(
+            args.blackbox,
+            trigger=f"invariant violation: {'; '.join(violations)}",
+            at_s=trainer.clock_s,
+            context={"violations": list(violations)},
+        )
+        print(
+            f"wrote flight-recorder dump to {args.blackbox}",
+            file=sys.stderr,
+        )
+    if tracer is not None and args.trace is not None:
+        _write_trace(tracer, args.trace)
+    from .pipeline.export import observability_block
+
     summary = report_to_dict(
         result.report, system=system, fleet=result.fleet_block(),
+        tracer=tracer,
         storage_ha=(
             trainer.storage_ha.summary_block()
             if trainer.storage_ha is not None
             else None
+        ),
+        observability=observability_block(
+            tracer=tracer, snapshotter=snapshotter, flight=flight
         ),
     )
     if args.output is not None:
@@ -1333,6 +1587,9 @@ def _cmd_fullgraph(args: argparse.Namespace) -> int:
         )
 
     tracer = _make_tracer(args)
+    flight = _make_flight(args, tracer)
+    snapshotter = _make_snapshotter(args, tracer, "fullgraph", flight=flight)
+    trainer = None
     try:
         config = FullGraphConfig(
             hidden_dim=args.hidden_dim,
@@ -1354,6 +1611,7 @@ def _cmd_fullgraph(args: argparse.Namespace) -> int:
             fault_injector=fault_injector,
             verifier=verifier,
         )
+        trainer.snapshotter = snapshotter
 
         store = None
         if args.checkpoint_dir is not None:
@@ -1409,19 +1667,42 @@ def _cmd_fullgraph(args: argparse.Namespace) -> int:
                 store.save(done + ran, payload)
         result = trainer.result(target_accuracy=args.target_acc)
     except ReproError as exc:
+        from .errors import FaultError
+
+        if isinstance(exc, FaultError) and flight is not None:
+            now = trainer.clock_s if trainer is not None else 0.0
+            flight.note(
+                "crash", type(exc).__name__, "alerts", now,
+                detail={"message": str(exc)},
+            )
+            flight.dump(
+                args.blackbox,
+                trigger=f"{type(exc).__name__}: {exc}",
+                at_s=now,
+            )
+            print(
+                f"wrote flight-recorder dump to {args.blackbox}",
+                file=sys.stderr,
+            )
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    from .pipeline.export import observability_block
+
+    _finish_snapshots(snapshotter, tracer)
     summary = report_to_dict(
         result.report,
         tracer=tracer,
         system=system,
         fullgraph=result.block,
+        observability=observability_block(
+            tracer=tracer, snapshotter=snapshotter, flight=flight
+        ),
     )
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(summary, fh, indent=2, sort_keys=True, allow_nan=False)
-    if tracer is not None:
+    if tracer is not None and args.trace is not None:
         _write_trace(tracer, args.trace)
     if args.format == "json":
         print(json.dumps(summary, indent=2, sort_keys=True, allow_nan=False))
@@ -1528,6 +1809,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.alerts is not None:
         alert_rules = _load_alert_rules(args.alerts)
     tracer = _make_tracer(args)
+    flight = _make_flight(args, tracer)
+    snapshotter = _make_snapshotter(args, tracer, "serve", flight=flight)
 
     workload = get_workload(args.dataset, scale=args.scale)
     system = workload.system(_SSDS[args.ssd], num_ssds=args.num_ssds)
@@ -1544,9 +1827,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tracer=tracer,
         **_ha_kwargs(args),
     )
+    server.snapshotter = snapshotter
     server.serve(args.requests)
     server.drain()
     report = server.report()
+    _finish_snapshots(snapshotter, tracer)
 
     alerts_block = None
     if alert_rules is not None:
@@ -1557,6 +1842,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         monitor = SLOMonitor(alert_rules, tracer=tracer)
         alerts_block = monitor.evaluate(None, server.registry)
         _print_alerts(server.name, alerts_block)
+        if tracer is not None:
+            _breach_blackbox(args, flight, alerts_block, tracer.clock_s)
+    from .pipeline.export import observability_block
+
     summary = report.export_dict(
         tracer=tracer, system=system, alerts=alerts_block,
         storage_ha=(
@@ -1564,8 +1853,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if server.storage_ha is not None
             else None
         ),
+        observability=observability_block(
+            tracer=tracer, snapshotter=snapshotter, flight=flight
+        ),
     )
-    if tracer is not None:
+    if tracer is not None and args.trace is not None:
         _write_trace(tracer, args.trace)
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -1970,6 +2262,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"error: cannot read trace {args.path!r}: {exc}",
               file=sys.stderr)
         return 1
+    if args.request is not None:
+        from .telemetry import list_trace_ids, render_request_trace
+
+        try:
+            validate_chrome_trace(trace)
+            if args.request == "list":
+                ids = list_trace_ids(trace)
+                if not ids:
+                    print(
+                        "no causal chains in this trace (record with "
+                        "--trace-detail request)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                for trace_id in ids:
+                    print(trace_id)
+            else:
+                print(render_request_trace(trace, args.request))
+        except TelemetryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
     try:
         if args.json:
             print(
@@ -1986,6 +2300,123 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except TelemetryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _render_top(snapshots: list[dict], max_metrics: int) -> str:
+    """One ``repro top`` frame from the latest snapshot of a stream."""
+    latest = snapshots[-1]
+    deltas = latest.get("counter_deltas", {})
+    lines = [
+        f"repro top — source {latest['source']}, snapshot "
+        f"#{latest['seq']} at modeled {latest['modeled_time_s']:.3f}s "
+        f"(cadence {latest['every_s']:g}s, {len(snapshots)} snapshot(s))"
+    ]
+    rows = []
+    for name, summary in sorted(latest.get("metrics", {}).items()):
+        kind = summary.get("kind")
+        if kind in ("counter", "gauge"):
+            value = summary.get("value", 0)
+            rows.append(
+                (abs(deltas.get(name, 0)), name, kind,
+                 f"{value:g}", f"{deltas.get(name, 0):+g}"
+                 if name in deltas else "")
+            )
+        elif kind == "histogram":
+            count = summary.get("count", 0)
+            mean = summary.get("mean")
+            rows.append(
+                (0, name, kind, f"n={count}",
+                 f"mean={mean:.6g}" if mean is not None else "")
+            )
+    # Busiest first: largest counter movement since the last snapshot.
+    rows.sort(key=lambda r: (-r[0], r[1]))
+    shown = rows[:max_metrics]
+    if not shown:
+        lines.append("(registry is empty)")
+        return "\n".join(lines)
+    width = max(len(r[1]) for r in shown)
+    for _, name, kind, value, extra in shown:
+        lines.append(f"  {name:<{width}}  {kind:<9} {value:>14} {extra}")
+    if len(rows) > len(shown):
+        lines.append(f"  ... {len(rows) - len(shown)} more metric(s)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``top``: terminal view of a ``--stream`` snapshot JSONL file."""
+    import time
+
+    from .errors import TelemetryError
+    from .telemetry import read_snapshots
+
+    last_seq = None
+    while True:
+        try:
+            snapshots = read_snapshots(args.path)
+        except OSError as exc:
+            print(f"error: cannot read {args.path!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        except TelemetryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not snapshots:
+            if not args.follow:
+                print(f"error: {args.path!r} holds no snapshots",
+                      file=sys.stderr)
+                return 1
+        else:
+            seq = snapshots[-1]["seq"]
+            if seq != last_seq:
+                last_seq = seq
+                print(_render_top(snapshots, args.metrics))
+        if not args.follow:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``profile``: wall-clock-vs-modeled self-profile of one experiment."""
+    import json
+    import time
+
+    from .bench import experiments
+    from .telemetry import SimProfiler, render_profile
+
+    fn = getattr(experiments, _EXPERIMENTS[args.experiment])
+    profiler = SimProfiler()
+    start = time.perf_counter()
+    with profiler:
+        result = fn()
+    wall_s = time.perf_counter() - start
+
+    # Modeled seconds the experiment simulated: sum every loader seconds
+    # value its extras carry (the e2e experiments' common shape).
+    modeled_s = 0.0
+    for dataset_block in (result.extras or {}).values():
+        if isinstance(dataset_block, dict):
+            for value in dataset_block.values():
+                if isinstance(value, (int, float)):
+                    modeled_s += float(value)
+    doc = profiler.report(
+        modeled_s=modeled_s or None,
+        baseline_wall_s=wall_s,
+        workload=f"bench_{_EXPERIMENTS[args.experiment]}",
+    )
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True,
+                      allow_nan=False)
+            handle.write("\n")
+        print(f"wrote profile to {args.output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True, allow_nan=False))
+    else:
+        print(render_profile(doc))
     return 0
 
 
@@ -2334,6 +2765,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "ssd-model":
         return _cmd_ssd_model(args)
     if args.command == "analyze":

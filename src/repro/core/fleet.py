@@ -69,10 +69,13 @@ from ..training.graphsage import (
     average_gradients,
     synthetic_labels,
 )
+from ..telemetry.context import TraceContext, step_trace_id
+from ..telemetry.tracks import (
+    FLEET_ALLREDUCE_TRACK,
+    FLEET_EVENTS_TRACK,
+    declare_track,
+)
 from .multi_gpu import contended_ssd, partition_shards, shard_train_ids
-
-#: Tracer track for fleet lifecycle events (dropout, rebalance, steals).
-FLEET_EVENTS_TRACK = "fleet.events"
 
 #: Loader name fleet runs export under.
 FLEET_LOADER_NAME = "GIDS-fleet"
@@ -385,6 +388,13 @@ class ElasticFleetTrainer:
         self.lr = lr
         self.label_seed = label_seed
         self.tracer = tracer
+        #: optional live :class:`~repro.telemetry.snapshot
+        #: .MetricsSnapshotter`, polled at each global-step barrier.
+        self.snapshotter = None
+        # Per-worker span lanes are dynamic; declare them so strict
+        # tracers accept the fleet's tracks.
+        for index in range(self.fleet.num_gpus):
+            declare_track(f"fleet.gpu{index}")
 
         self.store = FeatureStore(
             dataset.num_nodes,
@@ -748,6 +758,22 @@ class ElasticFleetTrainer:
         return None
 
     def _run_step(self) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.want_request_detail:
+            # Root one causal chain per global step: breaker probes, HA
+            # routing, rebalance/steal instants and the per-GPU step spans
+            # all land in the same trace.
+            ctx = TraceContext(
+                step_trace_id("fleet", self.step_index), origin="fleet"
+            )
+            with tracer.context(ctx):
+                self._step_impl()
+        else:
+            self._step_impl()
+        if self.snapshotter is not None:
+            self.snapshotter.poll(self.clock_s)
+
+    def _step_impl(self) -> None:
         self._fire_due_events()
         participants = [
             w for w in self._active_workers() if w.queue
@@ -868,7 +894,7 @@ class ElasticFleetTrainer:
             if allreduce_s:
                 self.tracer.record(
                     "fleet.allreduce",
-                    "fleet.allreduce",
+                    FLEET_ALLREDUCE_TRACK,
                     start_s=step_start + max(step_times.values()),
                     duration_s=allreduce_s,
                     workers=n_active,

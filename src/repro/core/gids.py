@@ -57,6 +57,8 @@ from ..sim.ssd import SSDArray
 from ..storage.feature_store import FeatureStore
 from ..storage_ha import StorageHA
 from ..telemetry import Tracer
+from ..telemetry.context import TraceContext, step_trace_id
+from ..telemetry.tracks import INTEGRITY_TRACK
 from ..utils import as_rng
 
 
@@ -181,6 +183,9 @@ class GIDSDataLoader:
         self.batch_size = batch_size
         self.framework_overhead_s = framework_overhead_s
         self.tracer = tracer
+        #: optional live :class:`~repro.telemetry.snapshot
+        #: .MetricsSnapshotter`, polled at each group boundary.
+        self.snapshotter = None
         self._rng = as_rng(seed)
 
         self.store = FeatureStore(
@@ -550,7 +555,7 @@ class GIDSDataLoader:
             if integrity_extra_time > 0.0:
                 tracer.record(
                     "verify",
-                    "integrity",
+                    INTEGRITY_TRACK,
                     start_s=group_start_s,
                     duration_s=integrity_extra_time,
                     verified=sum(c.verified_pages for c in per_entry),
@@ -613,7 +618,7 @@ class GIDSDataLoader:
                 if tracer is not None and tracer.want_request_detail:
                     tracer.instant(
                         "scrub",
-                        "integrity",
+                        INTEGRITY_TRACK,
                         pages=scrub.pages_scanned,
                         detected=scrub.detected,
                         repaired=scrub.repaired,
@@ -1017,7 +1022,20 @@ class GIDSDataLoader:
         if remaining <= 0:
             raise ConfigError("remaining must be positive")
         group = self._next_group(remaining=remaining)
-        metrics = self._aggregate_group(group)
+        tracer = self.tracer
+        if tracer is not None and tracer.want_request_detail:
+            # One causal chain per merged group, rooted at the first
+            # iteration it serves: every span/instant the aggregation emits
+            # (stages, HA redirects, fault retries) joins the same trace.
+            ctx = TraceContext(
+                step_trace_id("group", tracer.iteration), origin="run"
+            )
+            with tracer.context(ctx):
+                metrics = self._aggregate_group(group)
+        else:
+            metrics = self._aggregate_group(group)
+        if self.snapshotter is not None:
+            self.snapshotter.poll(self._sim_now_s)
         return [(entry.batch, m) for entry, m in zip(group, metrics)]
 
     def fetch_features(self, batch: MiniBatch) -> np.ndarray:

@@ -39,6 +39,8 @@ from ..sim.gpu import GPUModel
 from ..sim.ssd import SSDArray
 from ..storage.feature_store import FeatureStore
 from ..storage_ha import make_placement
+from ..telemetry.context import TraceContext, step_trace_id
+from ..telemetry.tracks import FULLGRAPH_TRACK
 from ..training.graphsage import (
     AGGREGATORS,
     GraphSAGE,
@@ -56,9 +58,6 @@ from .scheduler import PartitionSweepScheduler
 
 #: Loader name the run report carries.
 FULLGRAPH_LOADER_NAME = "GIDS-fullgraph"
-
-#: Telemetry track of whole-step sweep spans.
-FULLGRAPH_TRACK = "fullgraph"
 
 
 @dataclass(frozen=True)
@@ -202,6 +201,9 @@ class FullGraphTrainer:
         self.system = system
         self.config = config or FullGraphConfig()
         self.tracer = tracer
+        #: optional live :class:`~repro.telemetry.snapshot
+        #: .MetricsSnapshotter`, polled after each sweep step.
+        self.snapshotter = None
         self.faults = fault_injector
         self.verifier = verifier
         cfg = self.config
@@ -748,6 +750,17 @@ class FullGraphTrainer:
         self.report.append(metrics)
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
+            ctx = None
+            if tracer.want_request_detail:
+                # One causal chain per sweep step ties the sweep span to
+                # its reload/halo/compute children.
+                ctx = tracer.context(
+                    TraceContext(
+                        step_trace_id("sweep", tracer.iteration),
+                        origin="fullgraph",
+                    )
+                )
+                ctx.__enter__()
             t0 = tracer.clock_s
             tracer.record(
                 "sweep",
@@ -791,7 +804,11 @@ class FullGraphTrainer:
             tracer.iteration += 1
             counters.publish(tracer.metrics)
             tracer.advance(times.total)
+            if ctx is not None:
+                ctx.__exit__(None, None, None)
         self.clock_s += times.total
+        if self.snapshotter is not None:
+            self.snapshotter.poll(self.clock_s)
 
     # ------------------------------------------------------------------
     # Results / export

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 
 from ..errors import ObservatoryError
 from ..pipeline.metrics import STAGES, RunReport
+from ..telemetry.tracks import ALERTS_TRACK
 
 #: Comparison operators an alert rule may use.
 OPS = {
@@ -58,9 +59,6 @@ OPS = {
 
 #: Recognised severities, mildest first.
 SEVERITIES = ("warn", "critical")
-
-#: Tracer track alert instants are recorded on.
-ALERTS_TRACK = "alerts"
 
 #: Per-iteration numeric fields addressable as ``iteration.<field>``.
 _ITERATION_TIME_FIELDS = STAGES + ("preparation", "total")

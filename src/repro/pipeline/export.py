@@ -46,7 +46,13 @@ from .metrics import STAGES, RunReport
 #:     (placement mode, device health states and transitions, rebuild
 #:     progress from :meth:`~repro.storage_ha.StorageHA.summary_block`),
 #:     and the degraded-capacity rows of the attribution what-if table.
-EXPORT_SCHEMA_VERSION = 10
+#: v11: added the optional ``observability`` block (live metric-snapshot
+#:     cadence and file pointers from
+#:     :meth:`~repro.telemetry.snapshot.MetricsSnapshotter.export_block`,
+#:     the tracer's ``telemetry.dropped_events`` count, and the flight
+#:     recorder's :meth:`~repro.telemetry.flight.FlightRecorder
+#:     .export_block` with its last dump trigger).
+EXPORT_SCHEMA_VERSION = 11
 
 
 def _finite(value: float) -> float | None:
@@ -74,6 +80,7 @@ def report_to_dict(
     fleet: "dict | None" = None,
     fullgraph: "dict | None" = None,
     storage_ha: "dict | None" = None,
+    observability: "dict | None" = None,
 ) -> dict:
     """Flatten a run report into a JSON-serializable summary dict.
 
@@ -114,6 +121,11 @@ def report_to_dict(
             runs: placement mode, device health states/transitions,
             rebuild progress); ``None`` (no redundancy) exports the
             block as ``None``.
+        observability: optional ``observability`` block from
+            :func:`observability_block` (streamed/flight-recorded runs:
+            snapshot cadence and file pointers, dropped-event count,
+            flight-recorder state); ``None`` exports the block as
+            ``None``.
     """
     # Local import: the observatory analyzes the dicts this module emits,
     # so the reverse dependency stays off the module level.
@@ -178,12 +190,41 @@ def report_to_dict(
         "fleet": fleet,
         "fullgraph": fullgraph,
         "storage_ha": storage_ha,
+        "observability": observability,
     }
     if system is not None:
         summary["attribution"] = attribute_summary(
             summary, system_spec_block(system)
         )
     return summary
+
+
+def observability_block(
+    *,
+    tracer: "object | None" = None,
+    snapshotter: "object | None" = None,
+    flight: "object | None" = None,
+) -> dict | None:
+    """Assemble the optional schema-v11 ``observability`` block.
+
+    Returns ``None`` when none of the mission-control surfaces were
+    active, so plain runs keep exporting ``"observability": null``.
+    """
+    if tracer is None and snapshotter is None and flight is None:
+        return None
+    dropped = 0
+    if tracer is not None:
+        metrics = getattr(tracer, "metrics", None)
+        if metrics is not None and "telemetry.dropped_events" in metrics:
+            dropped = int(
+                metrics.counter("telemetry.dropped_events").value
+            )
+    block: dict = {"dropped_events": dropped}
+    if snapshotter is not None:
+        block["snapshots"] = snapshotter.export_block()
+    if flight is not None:
+        block["flight_recorder"] = flight.export_block()
+    return block
 
 
 def report_to_json(
@@ -197,6 +238,7 @@ def report_to_json(
     fleet: "dict | None" = None,
     fullgraph: "dict | None" = None,
     storage_ha: "dict | None" = None,
+    observability: "dict | None" = None,
 ) -> str:
     """JSON rendering of :func:`report_to_dict`.
 
@@ -214,6 +256,7 @@ def report_to_json(
             fleet=fleet,
             fullgraph=fullgraph,
             storage_ha=storage_ha,
+            observability=observability,
         ),
         indent=indent,
         sort_keys=True,

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..errors import CheckpointError, ServingError
+from ..telemetry.tracks import BREAKERS_TRACK
 from .config import ServingConfig
 
 #: Breaker states.
@@ -31,8 +32,8 @@ CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
 
-#: Tracer track breaker transitions are recorded on.
-BREAKERS_TRACK = "serving.breakers"
+__all__ = ["BREAKERS_TRACK", "CLOSED", "OPEN", "HALF_OPEN",
+           "CircuitBreaker", "BreakerBoard"]
 
 
 class CircuitBreaker:

@@ -240,7 +240,13 @@ class ServingReport:
         }
 
     def export_dict(
-        self, *, tracer=None, system=None, alerts=None, storage_ha=None
+        self,
+        *,
+        tracer=None,
+        system=None,
+        alerts=None,
+        storage_ha=None,
+        observability=None,
     ) -> dict:
         """Full versioned run-report document for this serving run.
 
@@ -308,6 +314,7 @@ class ServingReport:
             "alerts": alerts,
             "serving": self.to_dict(),
             "storage_ha": storage_ha,
+            "observability": observability,
         }
         if system is not None:
             summary["attribution"] = attribute_summary(

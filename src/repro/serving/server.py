@@ -61,9 +61,8 @@ from .brownout import BrownoutController
 from .config import ArrivalConfig, ServingConfig
 from .hedging import HedgePolicy
 from .report import ServingReport, ServingStats
-
-#: Tracer track for per-request serving spans.
-SERVING_TRACK = "serving"
+from ..telemetry.context import TraceContext, request_trace_id
+from ..telemetry.tracks import HA_TRACK, SERVING_TRACK
 
 #: Verdict name → ServingStats field.
 _VERDICT_FIELDS = {
@@ -213,6 +212,9 @@ class InferenceServer:
         )
 
         # --- run state --------------------------------------------------
+        #: Optional live-metric streamer, polled after every completion
+        #: (attached by the CLI; ``None`` costs one attribute check).
+        self.snapshotter = None
         self.stats = ServingStats()
         self.counters = TransferCounters()
         self._queue: list[tuple[int, int, dict]] = []  # (priority, idx, req)
@@ -342,7 +344,27 @@ class InferenceServer:
         return start_s + estimate > request.deadline_at_s
 
     def _serve_one(self, request: Request, start_s: float) -> None:
-        service_s = self._service_time(request, start_s)
+        tracer = self.tracer
+        ctx = None
+        if tracer is not None and tracer.want_request_detail:
+            # Causal root: every span/instant recorded while the context
+            # is active — cache tiers, breakers, HA redirects, retries —
+            # is stamped with this request's trace id.
+            ctx = TraceContext(
+                request_trace_id(request.index), origin="serve"
+            )
+        if ctx is not None:
+            with tracer.context(ctx):
+                tracer.instant(
+                    "admission",
+                    SERVING_TRACK,
+                    at_s=start_s,
+                    priority=request.priority,
+                    queued_s=start_s - request.arrival_s,
+                )
+                service_s = self._service_time(request, start_s)
+        else:
+            service_s = self._service_time(request, start_s)
         completion_s = start_s + service_s
         self._busy_until_s = completion_s
         self._busy_s += service_s
@@ -366,16 +388,26 @@ class InferenceServer:
         if self.tracer is not None:
             self.tracer.clock_s = max(self.tracer.clock_s, completion_s)
             if self.tracer.want_request_detail:
-                self.tracer.record(
-                    f"request {request.index}",
-                    SERVING_TRACK,
-                    start_s=start_s,
-                    duration_s=service_s,
-                    priority=priority,
-                    latency_s=latency,
-                    deadline_met=met,
-                )
+                with self.tracer.context(ctx):
+                    self.tracer.record(
+                        f"request {request.index}",
+                        SERVING_TRACK,
+                        start_s=start_s,
+                        duration_s=service_s,
+                        priority=priority,
+                        latency_s=latency,
+                        deadline_met=met,
+                    )
+                    self.tracer.instant(
+                        "complete",
+                        SERVING_TRACK,
+                        at_s=completion_s,
+                        latency_s=latency,
+                        deadline_met=met,
+                    )
         self._publish_gauges()
+        if self.snapshotter is not None:
+            self.snapshotter.poll(completion_s)
 
     # ------------------------------------------------------------------
     # Per-request service model
@@ -394,6 +426,17 @@ class InferenceServer:
         sampling_s = self.gpu.sampling_time(
             batch.num_sampled, n_kernels=sampler.num_layers
         )
+        stamp = self.tracer is not None and self.tracer.want_request_detail
+        if stamp:
+            self.tracer.record(
+                "sample",
+                SERVING_TRACK,
+                start_s=start_s,
+                duration_s=sampling_s,
+                nodes=len(nodes),
+                sampled=batch.num_sampled,
+                brownout_level=level_index,
+            )
 
         if self.cpu_buffer is not None:
             buffered = self.cpu_buffer.contains(nodes)
@@ -419,7 +462,23 @@ class InferenceServer:
             if len(miss_pages):
                 self.stale_requests += 1
                 self.stale_pages += len(miss_pages)
+                if stamp:
+                    self.tracer.instant(
+                        "stale.cache_only",
+                        SERVING_TRACK,
+                        at_s=start_s + sampling_s,
+                        pages=len(miss_pages),
+                    )
         elif len(miss_pages):
+            if stamp:
+                self.tracer.instant(
+                    "fetch",
+                    SERVING_TRACK,
+                    at_s=start_s + sampling_s,
+                    pages=len(miss_pages),
+                    cache_hits=n_hits,
+                    buffered=n_buffered,
+                )
             storage_s = self._storage_time(miss_pages, start_s, counters)
 
         cpu_path_bytes = (
@@ -430,6 +489,20 @@ class InferenceServer:
         )
         hbm_s = self.gpu.hbm_read_time(counters.gpu_cache_bytes)
         inference_s = self.gpu.training_time(len(nodes))
+        if stamp:
+            self.tracer.record(
+                "aggregate",
+                SERVING_TRACK,
+                start_s=start_s + sampling_s,
+                duration_s=ingress_s + hbm_s,
+                storage_s=storage_s,
+            )
+            self.tracer.record(
+                "infer",
+                SERVING_TRACK,
+                start_s=start_s + sampling_s + ingress_s + hbm_s,
+                duration_s=inference_s,
+            )
 
         self._stage_seconds["sampling"] += sampling_s
         self._stage_seconds["aggregation"] += ingress_s + hbm_s
@@ -467,12 +540,21 @@ class InferenceServer:
         n_fallback = 0
         extra_reads = 0
         timeout_s = 0.0
+        stamp = self.tracer is not None and self.tracer.want_request_detail
 
         def reroute(pages_subset: np.ndarray, device: int) -> None:
             """Send pages away from ``device``: replica first, mirror last."""
             nonlocal n_storage, n_fallback, extra_reads
             if self.storage_ha is None or len(pages_subset) == 0:
                 n_fallback += len(pages_subset)
+                if stamp and len(pages_subset):
+                    self.tracer.instant(
+                        "fallback.mirror",
+                        "cpu.buffer",
+                        at_s=start_s,
+                        device=device,
+                        pages=len(pages_subset),
+                    )
                 return
             avoid = ~(active & ~stale)
             avoid[device] = True
@@ -483,6 +565,17 @@ class InferenceServer:
             counters.parity_reconstructs += out.n_reconstruct
             counters.reconstruct_reads += out.reconstruct_reads
             n_fallback += out.n_lost
+            if stamp:
+                self.tracer.instant(
+                    "ha.redirect",
+                    HA_TRACK,
+                    at_s=start_s,
+                    device=device,
+                    pages=len(pages_subset),
+                    replica=out.n_replica,
+                    reconstruct=out.n_reconstruct,
+                    lost=out.n_lost,
+                )
 
         for device in np.unique(devices):
             device = int(device)
@@ -507,6 +600,15 @@ class InferenceServer:
                 # Dead device discovered the hard way: the probe times
                 # out, then reroutes.
                 timeout_s += self.serving.device_timeout_s
+                if stamp:
+                    self.tracer.instant(
+                        "device.timeout",
+                        "faults",
+                        at_s=start_s,
+                        device=device,
+                        pages=int(n_probe),
+                        timeout_s=self.serving.device_timeout_s,
+                    )
                 reroute(dev_pages[:n_probe], device)
                 if breaker is not None:
                     breaker.record(0, n_probe, start_s, self.tracer)
@@ -543,6 +645,15 @@ class InferenceServer:
                 if n_spiked:
                     spike_extra = array.tail_extra_time(n_spiked)
                     counters.latency_spikes += n_spiked
+                if stamp and (retries or unrecovered):
+                    self.tracer.instant(
+                        "retry",
+                        "faults",
+                        at_s=start_s + timeout_s,
+                        retries=retries,
+                        backoff_s=backoff_s,
+                        unrecovered=unrecovered,
+                    )
             n_served = n_storage - unrecovered
             n_fallback += unrecovered
             base = array.batch_service_time(n_served + retries + extra_reads)
@@ -553,7 +664,15 @@ class InferenceServer:
             ) * self.layout.page_bytes
 
         if self.hedge is not None and n_storage:
-            latency = self.hedge.maybe_hedge(latency, base)
+            hedged = self.hedge.maybe_hedge(latency, base)
+            if stamp and hedged != latency:
+                self.tracer.instant(
+                    "hedge.won",
+                    SERVING_TRACK,
+                    at_s=start_s + hedged,
+                    saved_s=latency - hedged,
+                )
+            latency = hedged
 
         counters.fallback_requests += n_fallback
         counters.fallback_bytes += n_fallback * self.layout.page_bytes

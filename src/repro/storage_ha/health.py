@@ -32,12 +32,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import CheckpointError, ConfigError
+from ..telemetry.tracks import HA_TRACK
 
 #: Every state the per-device machine can be in, in escalation order.
 HEALTH_STATES = ("healthy", "suspect", "degraded", "dead", "rebuilding")
 
-#: Track name for health/rebuild telemetry in exported traces.
-HA_TRACK = "storage.ha"
+__all__ = ["HA_TRACK", "HEALTH_STATES", "DeviceHealthMonitor"]
 
 
 class DeviceHealthMonitor:

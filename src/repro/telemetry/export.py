@@ -23,6 +23,9 @@ from .tracer import TRACKS, Tracer
 #: Microseconds per modeled second (trace-event timestamps are in us).
 _US = 1e6
 
+#: Category tag on the flow events binding one trace id's spans.
+_FLOW_CATEGORY = "causal"
+
 
 def _track_order(tracks) -> list[str]:
     """Canonical lanes first, then unknown tracks in first-seen order."""
@@ -90,6 +93,7 @@ def to_chrome_trace(tracer: Tracer) -> dict:
                 "args": dict(instant.args),
             }
         )
+    events.extend(_flow_events(tracer, tids))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -103,6 +107,48 @@ def to_chrome_trace(tracer: Tracer) -> dict:
             "metrics": tracer.metrics.to_dict(),
         },
     }
+
+
+def _flow_events(tracer: Tracer, tids: dict[str, int]) -> list[dict]:
+    """Chrome-trace flow events binding each trace id's spans causally.
+
+    Spans stamped by an active :class:`~repro.telemetry.TraceContext`
+    carry ``trace_id``/``trace_seq`` args; for every trace id with two
+    or more spans this emits a flow chain — ``"s"`` (start) anchored on
+    the first span, ``"t"`` (step) on each intermediate span, ``"f"``
+    (finish, ``bp: "e"``) on the last — which Perfetto draws as arrows
+    across the lanes the request touched.
+    """
+    chains: dict[str, list] = {}
+    for span in tracer.spans:
+        trace_id = span.args.get("trace_id")
+        if trace_id is not None:
+            chains.setdefault(str(trace_id), []).append(span)
+    events: list[dict] = []
+    for trace_id in sorted(chains):
+        chain = sorted(
+            chains[trace_id],
+            key=lambda s: (s.args.get("trace_seq", 0), s.start_s),
+        )
+        if len(chain) < 2:
+            continue
+        last = len(chain) - 1
+        for index, span in enumerate(chain):
+            event = {
+                "name": f"trace {trace_id}",
+                "cat": _FLOW_CATEGORY,
+                "ph": "s" if index == 0 else ("f" if index == last else "t"),
+                "id": trace_id,
+                "pid": 0,
+                "tid": tids[span.track],
+                # Flow arrows leave a span at its end and land at starts.
+                "ts": (span.end_s if index == 0 else span.start_s) * _US,
+                "args": {"trace_seq": span.args.get("trace_seq")},
+            }
+            if index == last:
+                event["bp"] = "e"
+            events.append(event)
+    return events
 
 
 def write_chrome_trace(tracer: Tracer, path: str) -> int:
@@ -135,11 +181,11 @@ def validate_chrome_trace(trace: dict) -> int:
                     f"traceEvents[{index}] is missing {key!r}"
                 )
         ph = event["ph"]
-        if ph not in ("X", "i", "M", "C"):
+        if ph not in ("X", "i", "M", "C", "s", "t", "f"):
             raise TelemetryError(
                 f"traceEvents[{index}] has unsupported phase {ph!r}"
             )
-        if ph in ("X", "i"):
+        if ph in ("X", "i", "s", "t", "f"):
             ts = event.get("ts")
             if not isinstance(ts, (int, float)) or ts < 0:
                 raise TelemetryError(
@@ -150,6 +196,13 @@ def validate_chrome_trace(trace: dict) -> int:
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise TelemetryError(
                     f"traceEvents[{index}] has invalid dur {dur!r}"
+                )
+        if ph in ("s", "t", "f"):
+            flow_id = event.get("id")
+            if not isinstance(flow_id, (str, int)):
+                raise TelemetryError(
+                    f"traceEvents[{index}] flow event has invalid id "
+                    f"{flow_id!r}"
                 )
     return len(events)
 
@@ -315,6 +368,91 @@ def _axis_line(width: int, total: float) -> str:
         for offset, char in enumerate(mid):
             cells[mid_start + offset] = char
     return "".join(cells)
+
+
+# ----------------------------------------------------------------------
+# Single-request causal rendering
+
+
+def list_trace_ids(trace: dict) -> list[str]:
+    """Trace ids present in a saved document, in first-seen order."""
+    validate_chrome_trace(trace)
+    seen: dict[str, None] = {}
+    for event in trace["traceEvents"]:
+        if event["ph"] in ("X", "i"):
+            trace_id = event.get("args", {}).get("trace_id")
+            if trace_id is not None:
+                seen.setdefault(str(trace_id), None)
+    return list(seen)
+
+
+def render_request_trace(trace: dict, trace_id: str) -> str:
+    """Render one trace id's causal chain from a saved Chrome trace.
+
+    The text counterpart of the Perfetto flow arrows
+    (``repro trace FILE --request <id>``): every span and instant
+    stamped with ``trace_id``, in causal (``trace_seq``) order, with the
+    lane it ran on, its modeled start and duration, and the event args
+    that explain the routing decisions (redirects, retries, hedges).
+    """
+    validate_chrome_trace(trace)
+    names: dict[int, str] = {}
+    for event in trace["traceEvents"]:
+        if event["ph"] == "M" and event["name"] == "thread_name":
+            names[event["tid"]] = str(event.get("args", {}).get("name", ""))
+    chain: list[tuple] = []
+    for event in trace["traceEvents"]:
+        if event["ph"] not in ("X", "i"):
+            continue
+        args = dict(event.get("args", {}))
+        if str(args.get("trace_id")) != str(trace_id):
+            continue
+        seq = args.get("trace_seq", 0)
+        start = event["ts"] / _US
+        dur = event.get("dur", 0) / _US if event["ph"] == "X" else None
+        detail = {
+            k: v
+            for k, v in args.items()
+            if k not in ("trace_id", "trace_seq", "trace_origin",
+                         "trace_parent")
+        }
+        chain.append(
+            (seq, start, names.get(event["tid"], f"tid{event['tid']}"),
+             event["name"], dur, detail)
+        )
+    if not chain:
+        known = list_trace_ids(trace)
+        hint = (
+            f"; trace ids present: {', '.join(known[:8])}"
+            f"{'...' if len(known) > 8 else ''}"
+            if known
+            else "; the trace holds no stamped events (was it recorded "
+            "with --trace-detail request?)"
+        )
+        raise TelemetryError(f"no events stamped trace_id={trace_id!r}{hint}")
+    chain.sort(key=lambda item: (item[0], item[1]))
+    t0 = min(item[1] for item in chain)
+    t1 = max(
+        item[1] + (item[4] or 0.0) for item in chain
+    )
+    lane_width = max(len(item[2]) for item in chain)
+    name_width = max(len(item[3]) for item in chain)
+    lines = [
+        f"request {trace_id}: {len(chain)} events over "
+        f"{format_time(t1 - t0)}"
+    ]
+    for seq, start, lane, name, dur, detail in chain:
+        when = f"+{format_time(start - t0)}"
+        took = format_time(dur) if dur is not None else "instant"
+        extras = " ".join(
+            f"{key}={value}" for key, value in sorted(detail.items())
+        )
+        lines.append(
+            f"  [{seq:3d}] {when:>10} {lane.ljust(lane_width)} "
+            f"{name.ljust(name_width)} {took:>8}"
+            + (f"  {extras}" if extras else "")
+        )
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------

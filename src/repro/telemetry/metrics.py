@@ -251,6 +251,14 @@ class MetricsRegistry:
             name, lambda: Histogram(name, **kwargs), "histogram"
         )
 
+    def instruments(self) -> list[tuple[str, "Counter | Gauge | Histogram"]]:
+        """``(name, instrument)`` pairs, sorted by name.
+
+        The exposition renderers need the live objects (bucket bounds,
+        raw counts), not the :meth:`to_dict` summaries.
+        """
+        return [(name, self._metrics[name]) for name in sorted(self._metrics)]
+
     def to_dict(self) -> dict:
         """JSON-ready ``{name: summary}`` mapping, sorted by name."""
         return {

@@ -1,0 +1,219 @@
+"""Simulator self-profiler: wall-clock cost vs modeled time, per subsystem.
+
+Everything else in the telemetry package measures *modeled* time; this
+module is the deliberate exception.  ROADMAP item 4 ("raw speed of the
+simulator") needs to know where the simulator itself spends wall-clock
+seconds before any vectorization work can be judged — so the profiler
+wraps the hot entry points of the analytic models (SSD array, PCIe
+link, GPU model, software cache, CPU buffer, samplers) with
+``time.perf_counter`` shims and accumulates wall seconds and call
+counts per subsystem while any workload runs under it.
+
+The wrapping is done at *class* level, so workloads that construct
+their own simulators internally (the ``repro.bench.experiments``
+figures, the CLI commands) are profiled without any hooks.  The shims
+never touch modeled time: a profiled run's reports, traces and
+checkpoints are bit-identical to an unprofiled run's.  Only the
+profiler's own output contains wall-clock numbers, which is why it is
+never part of a deterministic artifact — it feeds
+``BENCH_sim_overhead.json`` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import wraps
+
+from ..errors import TelemetryError
+
+#: Schema tag written by ``repro profile --json``.
+PROFILE_SCHEMA = "repro.sim.profile/v1"
+
+
+def _default_targets() -> list[tuple[type, str, str]]:
+    """``(cls, method, subsystem)`` wrap targets for the stock simulators."""
+    from ..cache.cpu_buffer import ConstantCPUBuffer
+    from ..cache.gpu_cache import GPUSoftwareCache
+    from ..sampling.cluster import ClusterSampler
+    from ..sampling.hetero_neighbor import HeteroNeighborSampler
+    from ..sampling.ladies import LadiesSampler
+    from ..sampling.neighbor import NeighborSampler
+    from ..sim.gpu import GPUModel
+    from ..sim.pcie import PCIeLink
+    from ..sim.ssd import SSDArray
+    from ..storage.feature_store import FeatureStore
+
+    targets: list[tuple[type, str, str]] = [
+        (SSDArray, "batch_service_time", "ssd"),
+        (SSDArray, "sequential_read_time", "ssd"),
+        (SSDArray, "sequential_write_time", "ssd"),
+        (PCIeLink, "ingress_time", "pcie"),
+        (PCIeLink, "transfer_time", "pcie"),
+        (GPUModel, "sampling_time", "gpu"),
+        (GPUModel, "request_generation_time", "gpu"),
+        (GPUModel, "training_time", "gpu"),
+        (GPUModel, "hbm_read_time", "gpu"),
+        (GPUSoftwareCache, "access", "gpu.cache"),
+        (GPUSoftwareCache, "register_future", "gpu.cache"),
+        (GPUSoftwareCache, "forget_future", "gpu.cache"),
+        (NeighborSampler, "sample", "sampling"),
+        (HeteroNeighborSampler, "sample", "sampling"),
+        (LadiesSampler, "sample", "sampling"),
+        (ClusterSampler, "sample", "sampling"),
+    ]
+    for attr in ("contains", "lookup", "filter_hits"):
+        if hasattr(ConstantCPUBuffer, attr):
+            targets.append((ConstantCPUBuffer, attr, "cpu.buffer"))
+    for attr in ("pages_for_nodes", "read_pages", "gather"):
+        if hasattr(FeatureStore, attr):
+            targets.append((FeatureStore, attr, "storage"))
+    return targets
+
+
+class SimProfiler:
+    """Accumulates wall-clock seconds per simulator subsystem.
+
+    Use as a context manager around any workload::
+
+        profiler = SimProfiler()
+        with profiler:
+            result = fig13_e2e_980pro()
+        print(profiler.report(modeled_s=...))
+
+    Entering instruments the stock simulator classes (plus any extra
+    ``(cls, method, subsystem)`` targets passed to the constructor);
+    exiting restores the original methods, so nothing leaks into later
+    code.  Re-entering an active profiler raises.
+    """
+
+    def __init__(self, extra_targets=None) -> None:
+        self.wall_s: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        self.total_wall_s = 0.0
+        self._extra = list(extra_targets or [])
+        self._saved: list[tuple[type, str, object]] = []
+        self._t0: float | None = None
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+
+    def _wrap(self, cls: type, attr: str, subsystem: str) -> None:
+        original = getattr(cls, attr)
+
+        @wraps(original)
+        def shim(*args, **kwargs):
+            t0 = time.perf_counter()
+            try:
+                return original(*args, **kwargs)
+            finally:
+                dt = time.perf_counter() - t0
+                self.wall_s[subsystem] = self.wall_s.get(subsystem, 0.0) + dt
+                self.calls[subsystem] = self.calls.get(subsystem, 0) + 1
+
+        setattr(cls, attr, shim)
+        self._saved.append((cls, attr, original))
+
+    def __enter__(self) -> "SimProfiler":
+        if self._saved:
+            raise TelemetryError("profiler is already active")
+        for cls, attr, subsystem in _default_targets() + self._extra:
+            self._wrap(cls, attr, subsystem)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._t0 is not None:
+            self.total_wall_s += time.perf_counter() - self._t0
+            self._t0 = None
+        for cls, attr, original in reversed(self._saved):
+            setattr(cls, attr, original)
+        self._saved.clear()
+        return False
+
+    # ------------------------------------------------------------------
+    # Reporting
+
+    def report(
+        self,
+        *,
+        modeled_s: float | None = None,
+        baseline_wall_s: float | None = None,
+        workload: str = "",
+    ) -> dict:
+        """The profile document (``repro profile --json`` payload).
+
+        ``modeled_s`` is the workload's total *modeled* seconds (what the
+        simulator computed); ``baseline_wall_s`` is an optional
+        uninstrumented wall-clock measurement of the same workload, from
+        which the profiler-overhead ratio is derived.
+        """
+        subsystems = {
+            name: {
+                "wall_s": self.wall_s[name],
+                "calls": self.calls.get(name, 0),
+                "wall_fraction": (
+                    self.wall_s[name] / self.total_wall_s
+                    if self.total_wall_s > 0
+                    else 0.0
+                ),
+            }
+            for name in sorted(self.wall_s)
+        }
+        accounted = sum(self.wall_s.values())
+        doc = {
+            "schema": PROFILE_SCHEMA,
+            "workload": workload,
+            "wall_total_s": self.total_wall_s,
+            "wall_accounted_s": accounted,
+            "wall_other_s": max(0.0, self.total_wall_s - accounted),
+            "modeled_total_s": modeled_s,
+            "subsystems": subsystems,
+        }
+        if modeled_s is not None and self.total_wall_s > 0:
+            # Simulator "speed": modeled seconds produced per wall second.
+            doc["modeled_per_wall"] = modeled_s / self.total_wall_s
+        if baseline_wall_s is not None and baseline_wall_s > 0:
+            doc["baseline_wall_s"] = baseline_wall_s
+            doc["profiling_overhead_ratio"] = (
+                self.total_wall_s / baseline_wall_s - 1.0
+            )
+        return doc
+
+
+def render_profile(doc: dict) -> str:
+    """Human-readable rendering of a :meth:`SimProfiler.report` document."""
+    lines = [
+        f"simulator self-profile: {doc.get('workload') or '(workload)'}"
+    ]
+    wall = doc.get("wall_total_s") or 0.0
+    modeled = doc.get("modeled_total_s")
+    lines.append(f"  wall clock total   {wall * 1e3:10.1f} ms")
+    if modeled is not None:
+        lines.append(f"  modeled time total {modeled:10.3f} s")
+        if doc.get("modeled_per_wall") is not None:
+            lines.append(
+                f"  speed              {doc['modeled_per_wall']:10.1f} "
+                "modeled s / wall s"
+            )
+    if doc.get("baseline_wall_s") is not None:
+        lines.append(
+            f"  profiling overhead {doc['profiling_overhead_ratio']:+10.1%} "
+            f"vs {doc['baseline_wall_s'] * 1e3:.1f} ms uninstrumented"
+        )
+    subsystems = doc.get("subsystems", {})
+    if subsystems:
+        lines.append("  per-subsystem wall clock:")
+        width = max(len(name) for name in subsystems)
+        for name, entry in sorted(
+            subsystems.items(), key=lambda kv: -kv[1]["wall_s"]
+        ):
+            lines.append(
+                f"    {name.ljust(width)}  {entry['wall_s'] * 1e3:8.1f} ms"
+                f"  {entry['wall_fraction']:6.1%}"
+                f"  {entry['calls']:8d} calls"
+            )
+        other = doc.get("wall_other_s") or 0.0
+        lines.append(
+            f"    {'(unattributed)'.ljust(width)}  {other * 1e3:8.1f} ms"
+        )
+    return "\n".join(lines)

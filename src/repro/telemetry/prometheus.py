@@ -1,0 +1,153 @@
+"""Prometheus text-exposition rendering of a :class:`MetricsRegistry`.
+
+``to_prometheus_text`` serializes every instrument in the registry into
+the Prometheus text exposition format (version 0.0.4): counters and
+gauges as single samples, histograms as cumulative ``_bucket{le=...}``
+series plus ``_sum`` and ``_count``.  Metric names are sanitized to the
+Prometheus grammar (dots become underscores, a ``repro_`` prefix is
+added); the original registry name rides along in the ``# HELP`` line so
+``parse_prometheus_text`` can round-trip the exposition back into the
+registry's vocabulary — the property tests assert that every instrument
+survives the round trip with names, label sets and bucket sums intact.
+
+Floats are rendered with ``repr`` so ``float(repr(x)) == x`` exactly:
+the exposition is a lossless snapshot, not an approximation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..errors import TelemetryError
+from .metrics import MetricsRegistry
+
+#: Prefix for every exposed metric family.
+PROMETHEUS_PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a registry metric name into a Prometheus family name."""
+    return PROMETHEUS_PREFIX + _NAME_RE.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, metric in registry.instruments():
+        family = prometheus_name(name)
+        lines.append(f"# HELP {family} {name}")
+        lines.append(f"# TYPE {family} {metric.kind}")
+        if metric.kind in ("counter", "gauge"):
+            lines.append(f"{family} {_fmt(metric.value)}")
+            continue
+        running = 0
+        for bound, count in zip(metric.bounds, metric.counts):
+            running += count
+            lines.append(
+                f'{family}_bucket{{le="{_fmt(bound)}"}} {running}'
+            )
+        lines.append(f'{family}_bucket{{le="+Inf"}} {metric.count}')
+        lines.append(f"{family}_sum {_fmt(metric.sum)}")
+        lines.append(f"{family}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise TelemetryError(f"unparseable sample value {text!r}") from None
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse an exposition produced by :func:`to_prometheus_text`.
+
+    Returns ``{original_name: summary}`` keyed by the registry names the
+    ``# HELP`` lines carry.  Counter/gauge summaries hold ``kind`` and
+    ``value``; histogram summaries hold ``kind``, ``count``, ``sum`` and
+    ``buckets`` — an ordered ``{le_label: cumulative_count}`` mapping
+    including the ``+Inf`` bucket.
+    """
+    families: dict[str, dict] = {}
+    original: dict[str, str] = {}
+    kinds: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            family, _, help_text = rest.partition(" ")
+            original[family] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            family, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise TelemetryError(
+                    f"line {lineno}: unknown metric type {kind!r}"
+                )
+            kinds[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise TelemetryError(f"line {lineno}: unparseable sample {raw!r}")
+        sample_name = match.group("name")
+        labels = {
+            m.group("key"): m.group("val")
+            for m in _LABEL_RE.finditer(match.group("labels") or "")
+        }
+        value = _parse_value(match.group("value"))
+        family = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)]
+            if sample_name.endswith(suffix) and kinds.get(base) == "histogram":
+                family = base
+                break
+        entry = families.setdefault(family, {})
+        if kinds.get(family) == "histogram":
+            entry.setdefault("kind", "histogram")
+            entry.setdefault("buckets", {})
+            if sample_name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise TelemetryError(
+                        f"line {lineno}: histogram bucket lacks an le label"
+                    )
+                entry["buckets"][labels["le"]] = int(value)
+            elif sample_name.endswith("_sum"):
+                entry["sum"] = value
+            elif sample_name.endswith("_count"):
+                entry["count"] = int(value)
+        else:
+            entry["kind"] = kinds.get(family)
+            entry["value"] = value
+    result: dict[str, dict] = {}
+    for family, entry in families.items():
+        if entry.get("kind") is None:
+            raise TelemetryError(f"family {family!r} has samples but no TYPE")
+        result[original.get(family, family)] = entry
+    return result

@@ -28,28 +28,9 @@ import math
 from dataclasses import dataclass, field
 
 from ..errors import TelemetryError
+from .context import TraceContext, _ActiveContext
 from .metrics import MetricsRegistry
-
-#: Pipeline-stage lanes (prefix ``stage.``) in execution order.
-STAGE_TRACKS = (
-    "stage.sampling",
-    "stage.aggregation",
-    "stage.transfer",
-    "stage.training",
-)
-
-#: Canonical lane order of the Chrome-trace export: the four pipeline
-#: stages first, then one lane per modeled resource.  Unknown tracks are
-#: appended after these in first-use order.
-TRACKS = STAGE_TRACKS + (
-    "ssd",
-    "pcie",
-    "gpu.cache",
-    "cpu.buffer",
-    "window",
-    "accumulator",
-    "faults",
-)
+from .tracks import STAGE_TRACKS, TRACKS, require_known_track
 
 #: Tracing granularities: ``stage`` records per-iteration stage spans only;
 #: ``request`` additionally records per-group resource spans and instant
@@ -194,9 +175,14 @@ class Tracer:
         enabled: master switch; a disabled tracer records nothing and every
             entry point is a constant-time no-op.
         detail: ``"stage"`` or ``"request"`` (see :data:`DETAIL_LEVELS`).
-        max_events: safety cap on recorded spans + instants.  When reached,
-            further events are dropped and :attr:`truncated` is set — the
-            cap is never silent: exports and summaries surface it.
+        max_events: safety cap on recorded spans + instants (CLI:
+            ``--trace-cap``).  When reached, further events are dropped,
+            :attr:`truncated` is set and every drop increments the
+            ``telemetry.dropped_events`` counter — the cap is never
+            silent: exports, summaries and the metrics stream surface it.
+        strict_tracks: reject spans/instants on tracks not declared in
+            :mod:`repro.telemetry.tracks` (the CLI enables this; library
+            users may record on ad-hoc lanes with the default ``False``).
     """
 
     def __init__(
@@ -205,6 +191,7 @@ class Tracer:
         enabled: bool = True,
         detail: str = "stage",
         max_events: int = 200_000,
+        strict_tracks: bool = False,
     ) -> None:
         if detail not in DETAIL_LEVELS:
             raise TelemetryError(
@@ -216,6 +203,7 @@ class Tracer:
         self.enabled = enabled
         self.detail = detail
         self.max_events = max_events
+        self.strict_tracks = strict_tracks
         #: Modeled-time cursor components advance instants against.
         self.clock_s = 0.0
         #: Next pipeline-iteration index (used to label stage spans and
@@ -225,6 +213,10 @@ class Tracer:
         self.instants: list[Instant] = []
         self.truncated = False
         self.metrics = MetricsRegistry()
+        #: Active causal context; events record its trace_id + sequence.
+        self._context: TraceContext | None = None
+        #: Optional black-box flight recorder fed every recorded event.
+        self.flight = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -237,8 +229,43 @@ class Tracer:
     def _room(self) -> bool:
         if len(self.spans) + len(self.instants) >= self.max_events:
             self.truncated = True
+            self.metrics.counter("telemetry.dropped_events").inc()
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Causal contexts / flight recorder
+
+    def context(self, context: TraceContext | None) -> _ActiveContext:
+        """Activate ``context`` for the duration of a ``with`` block.
+
+        While active, every recorded span/instant is stamped with the
+        context's ``trace_id``/``trace_seq``/``origin`` args, joining it
+        to the causal chain the exporter renders as flow events.  Pass
+        ``None`` to explicitly suspend stamping inside a block.  Nesting
+        restores the previous context on exit.
+        """
+        return _ActiveContext(self, context)
+
+    @property
+    def active_context(self) -> TraceContext | None:
+        return self._context
+
+    def _stamp(self, args: dict) -> dict:
+        ctx = self._context
+        if ctx is None:
+            return args
+        stamped = dict(args)
+        stamped["trace_id"] = ctx.trace_id
+        stamped["trace_seq"] = ctx.next_seq()
+        stamped["trace_origin"] = ctx.origin
+        if ctx.parent is not None:
+            stamped["trace_parent"] = ctx.parent
+        return stamped
+
+    def attach_flight(self, flight) -> None:
+        """Feed every future recorded event into ``flight`` (ring buffer)."""
+        self.flight = flight
 
     def record(
         self,
@@ -261,10 +288,18 @@ class Tracer:
             raise TelemetryError(
                 f"span {name!r} has negative duration {duration_s}"
             )
+        if self.strict_tracks:
+            require_known_track(track)
         if self._room():
+            args = self._stamp(args)
             self.spans.append(
                 Span(name, track, float(start_s), float(duration_s), args)
             )
+            if self.flight is not None:
+                self.flight.note(
+                    "span", name, track, float(start_s),
+                    {"duration_s": float(duration_s), **args},
+                )
 
     def instant(
         self, name: str, track: str, at_s: float | None = None, **args
@@ -275,8 +310,13 @@ class Tracer:
         at = self.clock_s if at_s is None else float(at_s)
         if not math.isfinite(at):
             raise TelemetryError(f"instant {name!r} at non-finite time {at}")
+        if self.strict_tracks:
+            require_known_track(track)
         if self._room():
+            args = self._stamp(args)
             self.instants.append(Instant(name, track, at, args))
+            if self.flight is not None:
+                self.flight.note("instant", name, track, at, args)
 
     def span(
         self, name: str, track: str, start_s: float | None = None, **args
@@ -348,8 +388,13 @@ class Tracer:
     # Checkpointing
 
     def state_dict(self) -> dict:
-        """Snapshot of everything recorded so far (checkpointable)."""
-        return {
+        """Snapshot of everything recorded so far (checkpointable).
+
+        When a flight recorder is attached its ring rides along under a
+        ``"flight"`` key; tracers without one emit the historical layout
+        unchanged, so old checkpoints stay loadable in both directions.
+        """
+        state = {
             "detail": self.detail,
             "clock_s": self.clock_s,
             "iteration": self.iteration,
@@ -358,6 +403,9 @@ class Tracer:
             "instants": [inst.to_dict() for inst in self.instants],
             "metrics": self.metrics.state_dict(),
         }
+        if self.flight is not None:
+            state["flight"] = self.flight.state_dict()
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         """Restore the recording captured by :meth:`state_dict`.
@@ -378,3 +426,5 @@ class Tracer:
         self.instants = [Instant.from_dict(i) for i in state["instants"]]
         self.metrics = MetricsRegistry()
         self.metrics.load_state_dict(state["metrics"])
+        if self.flight is not None and "flight" in state:
+            self.flight.load_state_dict(state["flight"])

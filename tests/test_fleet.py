@@ -556,7 +556,7 @@ class TestFleetCLI:
         ]) == 0
         capsys.readouterr()
         doc = json.loads(out_path.read_text())
-        assert doc["schema_version"] == 10
+        assert doc["schema_version"] == 11
         assert doc["fleet"]["num_gpus"] == 2
         assert len(doc["fleet"]["workers"]) == 2
         rows = {r["scenario"] for r in doc["attribution"]["what_if"]}

@@ -415,7 +415,7 @@ class TestExportAndCLI:
 
         loader = _loader(_corrupt_plan(), verify_reads="full")
         record = report_to_dict(loader.run(10))
-        assert record["schema_version"] == 10
+        assert record["schema_version"] == 11
         block = record["integrity_summary"]
         assert block["consistent"]
         assert block["corrupt_detected"] == (

@@ -143,7 +143,7 @@ class TestFaultFields:
         assert faults["fallback_bytes"] == 10 * 4096
         assert faults["fallback_fraction"] == pytest.approx(0.1)
         assert faults["retry_timeouts"] == 1
-        assert parsed["schema_version"] == 10
+        assert parsed["schema_version"] == 11
 
 
 class TestCSV:

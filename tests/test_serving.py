@@ -528,7 +528,7 @@ class TestServerEndToEnd:
             tracer=tracer, system=_SYSTEM
         )
         validate_summary(summary)
-        assert summary["schema_version"] == 10
+        assert summary["schema_version"] == 11
         assert summary["loader"] == "GIDS-serve"
         assert summary["serving"]["requests"]["offered"]["total"] == 150
         assert summary["attribution"] is not None

@@ -245,7 +245,7 @@ class TestCLITracing:
         )
         assert code == 0
         payload = json.loads(capsys.readouterr().out)[0]
-        assert payload["schema_version"] == 10
+        assert payload["schema_version"] == 11
         assert payload["repro_version"]
         telemetry = payload["telemetry"]
         for track, value in telemetry["track_seconds"].items():
